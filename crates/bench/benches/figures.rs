@@ -1,0 +1,30 @@
+//! Criterion benches: one per figure of the paper.
+//!
+//! Each bench times a reduced (tiny-scale, board 0) run of the same
+//! campaign code the `repro` binary uses at full scale, so regressions in
+//! the simulation stack show up as timing changes here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redvolt_bench::harness::{self, Settings};
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1));
+    let s = Settings::tiny();
+    group.bench_function("fig3_regions", |b| b.iter(|| harness::fig3(&s)));
+    group.bench_function("fig4_overall_behaviour", |b| b.iter(|| harness::fig4(&s)));
+    group.bench_function("fig5_efficiency", |b| b.iter(|| harness::fig5(&s)));
+    group.bench_function("fig6_reliability", |b| b.iter(|| harness::fig6(&s)));
+    group.bench_function("fig7_quantization", |b| b.iter(|| harness::fig7(&s)));
+    group.bench_function("fig8_pruning", |b| b.iter(|| harness::fig8(&s)));
+    group.bench_function("fig9_temp_power", |b| b.iter(|| harness::fig9(&s)));
+    group.bench_function("fig10_temp_accuracy", |b| b.iter(|| harness::fig10(&s)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion benches: one per table of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redvolt_bench::harness::{self, Settings};
+use std::time::Duration;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1));
+    let s = Settings::tiny();
+    group.bench_function("table1_benchmarks", |b| b.iter(|| harness::table1(&s)));
+    group.bench_function("table2_freq_underscaling", |b| b.iter(|| harness::table2(&s)));
+    group.bench_function("power_breakdown", |b| {
+        b.iter(|| harness::power_breakdown(&s))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

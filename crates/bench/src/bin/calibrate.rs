@@ -1,0 +1,145 @@
+//! Re-derives the fitted calibration constants from the paper's anchors
+//! and checks them against `redvolt_fpga::calib`.
+//!
+//! The board model's free parameters were fitted once against the numbers
+//! printed in the paper; this tool repeats the fit so the provenance of
+//! every hard-coded constant can be audited:
+//!
+//! ```text
+//! cargo run --release -p redvolt-bench --bin calibrate
+//! ```
+
+use redvolt_fpga::calib;
+use redvolt_fpga::power::{LoadProfile, PowerModel};
+use redvolt_fpga::timing::TimingModel;
+use redvolt_fpga::variation::BoardCorner;
+
+fn check(name: &str, got: f64, want: f64, tol: f64) -> bool {
+    let ok = (got - want).abs() <= tol;
+    println!(
+        "  [{}] {name}: got {got:.4}, target {want:.4} (tol {tol})",
+        if ok { "ok" } else { "MISS" }
+    );
+    ok
+}
+
+fn main() {
+    let mut all_ok = true;
+    println!("== Leakage temperature coefficient ==");
+    // Paper §7.1: power rises 0.46% over 34->52 C at 850 mV. With the
+    // fitted leakage share, solve share*(e^{18c}-1) = 0.0046 for c.
+    let leak_nom = calib::LEAK_ANCHORS_MV_W.last().unwrap().1;
+    let share = leak_nom / calib::P_ONCHIP_NOM_W;
+    let c = ((0.0046 / share) + 1.0f64).ln() / 18.0;
+    all_ok &= check("LEAK_TEMP_PER_C (analytic)", c, calib::LEAK_TEMP_PER_C, 5e-4);
+    // Numerically, as a one-dimensional least-squares fit against both
+    // temperature anchors (0.46% @850mV, 0.15% @650mV) simultaneously.
+    let pm_probe = PowerModel::default();
+    let leak650 = pm_probe.leakage_w(650.0, calib::T_REF_C);
+    let p650 = pm_probe.vccint_w(650.0, calib::T_REF_C, &LoadProfile::nominal());
+    let objective = |cand: f64| {
+        let rise = |leak: f64, total: f64| leak / total * ((cand * 18.0f64).exp() - 1.0);
+        let e850 = rise(leak_nom, calib::P_ONCHIP_NOM_W) - 0.0046;
+        let e650 = rise(leak650, p650) - 0.0015;
+        e850 * e850 + e650 * e650
+    };
+    let c_fit = redvolt_num::fit::golden_section_min(objective, 1e-4, 2e-2, 1e-8);
+    all_ok &= check("LEAK_TEMP_PER_C (refit)", c_fit, calib::LEAK_TEMP_PER_C, 1e-3);
+
+    println!("== Power scaling anchors (Fig 5 / Table 2) ==");
+    let pm = PowerModel::default();
+    let t = calib::T_REF_C;
+    let nom = pm.vccint_w(850.0, t, &LoadProfile::nominal());
+    let vmin = pm.vccint_w(570.0, t, &LoadProfile::nominal());
+    let crash = pm.vccint_w(540.0, t, &LoadProfile::nominal());
+    all_ok &= check("gain at Vmin (paper 2.6x)", nom / vmin, 2.6, 0.05);
+    all_ok &= check("gain at Vcrash (paper >3x)", nom / crash, 3.6, 0.3);
+    let table2 = [
+        (565.0, 300.0, 0.94, 0.97),
+        (560.0, 250.0, 0.83, 0.84),
+        (555.0, 250.0, 0.83, 0.78),
+        (550.0, 250.0, 0.83, 0.75),
+        (545.0, 250.0, 0.83, 0.74),
+        (540.0, 200.0, 0.70, 0.56),
+    ];
+    for (mv, f, gops, p_norm) in table2 {
+        let p = pm.vccint_w(
+            mv,
+            t,
+            &LoadProfile {
+                f_mhz: f,
+                ops_rate_norm: gops,
+                energy_per_op_factor: 1.0,
+                critical_path_factor: 1.0,
+            },
+        ) / vmin;
+        all_ok &= check(&format!("Table2 power norm @{mv:.0}mV"), p, p_norm, 0.06);
+    }
+
+    println!("== Fmax surface quantizes to Table 2 ==");
+    let tm = TimingModel::default();
+    let grid_fmax = |mv: f64| -> f64 {
+        let true_fmax = tm.fmax_true_mhz(mv, t);
+        if true_fmax >= 333.0 {
+            return 333.0;
+        }
+        (true_fmax / 25.0).floor() * 25.0
+    };
+    for (mv, want) in [
+        (570.0, 333.0),
+        (565.0, 300.0),
+        (560.0, 250.0),
+        (555.0, 250.0),
+        (550.0, 250.0),
+        (545.0, 250.0),
+        (540.0, 200.0),
+    ] {
+        all_ok &= check(&format!("Fmax grid @{mv:.0}mV"), grid_fmax(mv), want, 0.0);
+    }
+
+    println!("== Process-variation spreads (paper: dVmin 31mV, dVcrash 18mV) ==");
+    let vmin_of = |sample: u32| -> f64 {
+        let tm = TimingModel::new(BoardCorner::for_sample(sample));
+        let mut v = 850.0;
+        while tm.slack_deficit(v - 5.0, calib::F_NOM_MHZ, t) == 0.0 {
+            v -= 5.0;
+        }
+        v
+    };
+    let vcrash_of = |sample: u32| -> f64 {
+        let tm = TimingModel::new(BoardCorner::for_sample(sample));
+        tm.crash_voltage_mv(calib::F_NOM_MHZ, t, calib::CRASH_SLACK_RATIO, 480.0, 850.0, 5.0)
+            .map(|v| v + 5.0)
+            .unwrap_or(f64::NAN)
+    };
+    let vmins: Vec<f64> = (0..3).map(vmin_of).collect();
+    let vcrashes: Vec<f64> = (0..3).map(vcrash_of).collect();
+    let spread = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max)
+        - v.iter().cloned().fold(f64::MAX, f64::min);
+    println!("  Vmin per board:   {vmins:?}");
+    println!("  Vcrash per board: {vcrashes:?}");
+    all_ok &= check("dVmin", spread(&vmins), 31.0, 10.0);
+    all_ok &= check("dVcrash", spread(&vcrashes), 18.0, 8.0);
+    all_ok &= check(
+        "mean Vmin",
+        vmins.iter().sum::<f64>() / 3.0,
+        570.0,
+        7.0,
+    );
+
+    println!("== Temperature sensitivity of power (Fig 9) ==");
+    let rel = |v: f64| {
+        let cold = pm.vccint_w(v, 34.0, &LoadProfile::nominal());
+        let hot = pm.vccint_w(v, 52.0, &LoadProfile::nominal());
+        (hot - cold) / cold
+    };
+    all_ok &= check("rise @850mV (paper 0.46%)", rel(850.0), 0.0046, 0.001);
+    all_ok &= check("rise @650mV (paper 0.15%)", rel(650.0), 0.0015, 0.001);
+
+    if all_ok {
+        println!("\nall calibration constants verified against paper anchors");
+    } else {
+        println!("\nCALIBRATION DRIFT DETECTED — see MISS lines above");
+        std::process::exit(1);
+    }
+}

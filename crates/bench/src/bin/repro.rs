@@ -1,0 +1,55 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p redvolt-bench --bin repro -- all
+//! cargo run --release -p redvolt-bench --bin repro -- --quick fig6 table2
+//! ```
+//!
+//! With no arguments, runs everything at full settings (three boards,
+//! 100 images, 10 repetitions — the paper's methodology). `--quick` runs
+//! board 0 with reduced sampling. `--csv` emits CSV instead of aligned
+//! text.
+
+use redvolt_bench::harness::{self, Settings, ALL_EXPERIMENTS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let mut wanted: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    let settings = if quick {
+        Settings::quick()
+    } else {
+        Settings::full()
+    };
+    println!(
+        "# redvolt reproduction of DSN-2020 'Reduced-Voltage Operation in Modern FPGAs'\n\
+         # settings: boards={:?} images={} reps={} ({})\n",
+        settings.boards,
+        settings.images,
+        settings.reps,
+        if quick { "quick" } else { "full" }
+    );
+    for name in &wanted {
+        let t0 = Instant::now();
+        match harness::run_experiment(name, &settings) {
+            Ok(tables) => {
+                for table in tables {
+                    println!("{}", if csv { table.to_csv() } else { table.to_text() });
+                }
+                println!("# {name} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: experiment {name}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

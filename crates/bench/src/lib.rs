@@ -1,0 +1,12 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each function in [`harness`] reproduces one table or figure of the
+//! DSN-2020 study and returns it as a printable [`redvolt_core::report::Table`].
+//! The `repro` binary prints them (`cargo run --release -p redvolt-bench
+//! --bin repro -- all`); the criterion benches in `benches/` time reduced
+//! versions of the same campaigns; EXPERIMENTS.md records paper-vs-measured
+//! for a full run.
+
+pub mod harness;
+
+pub use harness::Settings;

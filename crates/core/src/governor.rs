@@ -1,0 +1,222 @@
+//! Dynamic voltage adjustment (§9 future work ii).
+//!
+//! A closed-loop governor that discovers and tracks the minimum safe
+//! voltage at run time, instead of trusting a static calibration: after
+//! every batch it reads the fault-detection counters (Razor-style error
+//! flags — the same observability [`crate::mitigation`] relies on) and
+//!
+//! * steps **down** one notch after `clean_streak` consecutive clean
+//!   batches (still above the configured floor);
+//! * steps **up** one larger notch immediately when faults are detected;
+//! * power-cycles and backs off when it overshoots into a hang.
+//!
+//! Because the fault boundary follows the inverse thermal dependence, the
+//! governor automatically reaches deeper voltages on a hot board — the
+//! §7.3 observation turned into a controller.
+
+use crate::experiment::{Accelerator, MeasureError};
+use redvolt_fpga::calib::VNOM_MV;
+
+/// Governor tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernorConfig {
+    /// Downward step after a clean streak, mV.
+    pub step_down_mv: f64,
+    /// Upward step on detected faults, mV.
+    pub step_up_mv: f64,
+    /// Clean batches required before stepping down.
+    pub clean_streak: u32,
+    /// Lowest voltage the governor may command, mV.
+    pub floor_mv: f64,
+    /// Images per batch.
+    pub batch_images: usize,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            step_down_mv: 5.0,
+            step_up_mv: 10.0,
+            clean_streak: 2,
+            floor_mv: 520.0,
+            batch_images: 32,
+        }
+    }
+}
+
+/// One governor step record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernorStep {
+    /// Batch index.
+    pub batch: u32,
+    /// Voltage commanded for this batch, mV.
+    pub vccint_mv: f64,
+    /// Faults detected during the batch.
+    pub faults: u64,
+    /// Power during the batch, watts.
+    pub power_w: f64,
+    /// Whether the board hung and was power-cycled after this batch.
+    pub crashed: bool,
+}
+
+/// Trace of a governor run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorTrace {
+    /// Per-batch records.
+    pub steps: Vec<GovernorStep>,
+    /// Voltage at the end of the run, mV.
+    pub settled_mv: f64,
+}
+
+impl GovernorTrace {
+    /// Mean power over the run's batches, watts.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.power_w).sum::<f64>() / self.steps.len() as f64
+    }
+
+    /// Number of crash/power-cycle events.
+    pub fn crash_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.crashed).count()
+    }
+}
+
+/// Runs the governor for `batches` batches on an accelerator.
+///
+/// # Errors
+///
+/// Propagates non-crash errors (crashes are handled by backing off).
+pub fn run_governor(
+    acc: &mut Accelerator,
+    cfg: &GovernorConfig,
+    batches: u32,
+) -> Result<GovernorTrace, MeasureError> {
+    let mut steps = Vec::with_capacity(batches as usize);
+    let mut target_mv = acc.vccint_mv();
+    let mut streak = 0u32;
+    for batch in 0..batches {
+        let commanded = target_mv;
+        let result = acc
+            .set_vccint_mv(commanded)
+            .and_then(|()| acc.measure(cfg.batch_images));
+        match result {
+            Ok(m) => {
+                let faulty = m.injected_faults > 0;
+                steps.push(GovernorStep {
+                    batch,
+                    vccint_mv: commanded,
+                    faults: m.injected_faults,
+                    power_w: m.power_w,
+                    crashed: false,
+                });
+                if faulty {
+                    streak = 0;
+                    target_mv = (commanded + cfg.step_up_mv).min(VNOM_MV);
+                } else {
+                    streak += 1;
+                    if streak >= cfg.clean_streak && commanded - cfg.step_down_mv >= cfg.floor_mv
+                    {
+                        streak = 0;
+                        target_mv = commanded - cfg.step_down_mv;
+                    }
+                }
+            }
+            Err(MeasureError::Crashed { .. }) => {
+                steps.push(GovernorStep {
+                    batch,
+                    vccint_mv: commanded,
+                    faults: 0,
+                    power_w: 0.0,
+                    crashed: true,
+                });
+                acc.power_cycle();
+                streak = 0;
+                // Back well off from the hang point.
+                target_mv = (commanded + 3.0 * cfg.step_up_mv).min(VNOM_MV);
+            }
+            Err(e) => {
+                acc.power_cycle();
+                return Err(e);
+            }
+        }
+    }
+    Ok(GovernorTrace {
+        settled_mv: target_mv,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_suite::BenchmarkId;
+    use crate::experiment::AcceleratorConfig;
+    use redvolt_nn::models::ModelScale;
+
+    fn accelerator() -> Accelerator {
+        Accelerator::bring_up(&AcceleratorConfig {
+            eval_images: 32,
+            repetitions: 1,
+            scale: ModelScale::Paper,
+            ..AcceleratorConfig::tiny(BenchmarkId::GoogleNet)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn governor_descends_into_the_guardband() {
+        let mut acc = accelerator();
+        let trace = run_governor(&mut acc, &GovernorConfig::default(), 120).unwrap();
+        assert!(
+            trace.settled_mv < 620.0,
+            "should dive deep into the guardband: {}",
+            trace.settled_mv
+        );
+        // It saves energy vs static nominal operation.
+        let nominal_power = trace.steps.first().unwrap().power_w;
+        assert!(trace.steps.last().unwrap().power_w < nominal_power / 1.8);
+    }
+
+    #[test]
+    fn governor_hovers_near_vmin_without_repeated_crashes() {
+        let mut acc = accelerator();
+        let trace = run_governor(&mut acc, &GovernorConfig::default(), 160).unwrap();
+        // Late-phase voltages stay in a tight band around Vmin (570).
+        let late: Vec<f64> = trace
+            .steps
+            .iter()
+            .skip(120)
+            .map(|s| s.vccint_mv)
+            .collect();
+        let lo = late.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            (545.0..=575.0).contains(&lo),
+            "governor should probe near Vmin: lo = {lo}"
+        );
+        assert!(trace.crash_count() <= 2, "crashes: {}", trace.crash_count());
+    }
+
+    #[test]
+    fn hot_board_settles_deeper_than_cold_board() {
+        // ITD: the fault boundary moves down when hot, and the governor
+        // follows it — §7.3 as a control loop.
+        let settle = |temp: f64| {
+            let mut acc = accelerator();
+            acc.board_mut().thermal_mut().force_temperature(temp);
+            let trace = run_governor(&mut acc, &GovernorConfig::default(), 160).unwrap();
+            let late: Vec<f64> = trace.steps.iter().skip(100).map(|s| s.vccint_mv).collect();
+            late.iter().sum::<f64>() / late.len() as f64
+        };
+        let cold = settle(34.0);
+        let hot = settle(52.0);
+        // ITD moves the fault boundary by only a few mV, below the
+        // governor's 5 mV step; assert the hot board is no *worse* than
+        // one control step above the cold one.
+        assert!(
+            hot <= cold + 5.0,
+            "hot board should not run above the cold board: {hot} vs {cold}"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Voltage-region characterization (Fig. 3 and §4.2).
+//!
+//! Measures, per (board, benchmark), the paper's three regions:
+//!
+//! * **guardband** — Vnom down to Vmin: no accuracy loss;
+//! * **critical** — Vmin down to Vcrash: accuracy degrades;
+//! * **crash** — below Vcrash: the board does not respond.
+
+use crate::experiment::{Accelerator, MeasureError};
+use redvolt_fpga::calib::VNOM_MV;
+
+/// The measured voltage regions of one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageRegions {
+    /// Nominal voltage, mV.
+    pub vnom_mv: f64,
+    /// Minimum safe voltage: lowest step with no accuracy loss, mV.
+    pub vmin_mv: f64,
+    /// Lowest responsive voltage, mV.
+    pub vcrash_mv: f64,
+}
+
+impl VoltageRegions {
+    /// Guardband size in mV (the paper measures ≈280 mV on average).
+    pub fn guardband_mv(&self) -> f64 {
+        self.vnom_mv - self.vmin_mv
+    }
+
+    /// Guardband as a fraction of Vnom (the paper's ≈33 %).
+    pub fn guardband_fraction(&self) -> f64 {
+        self.guardband_mv() / self.vnom_mv
+    }
+
+    /// Critical-region size in mV (the paper measures ≈30 mV).
+    pub fn critical_mv(&self) -> f64 {
+        self.vmin_mv - self.vcrash_mv
+    }
+}
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionSearchConfig {
+    /// Scan step, mV.
+    pub step_mv: f64,
+    /// Evaluation images per probe.
+    pub images: usize,
+    /// Accuracy loss below which a point still counts as "safe".
+    pub accuracy_tolerance: f64,
+}
+
+impl Default for RegionSearchConfig {
+    fn default() -> Self {
+        RegionSearchConfig {
+            step_mv: 5.0,
+            images: 100,
+            accuracy_tolerance: 0.01,
+        }
+    }
+}
+
+impl VoltageRegions {
+    /// Derives the regions from an already-measured downward sweep (same
+    /// criterion as [`find_regions`], without re-measuring): `Vmin` is the
+    /// lowest fault-free point with nominal accuracy, `Vcrash` the lowest
+    /// responsive point.
+    ///
+    /// Returns `None` for an empty sweep.
+    pub fn from_sweep(
+        sweep: &crate::sweep::VoltageSweep,
+        accuracy_tolerance: f64,
+    ) -> Option<VoltageRegions> {
+        let nominal = sweep.points.first()?;
+        let mut vmin_mv = nominal.vccint_mv;
+        for m in &sweep.points {
+            if m.injected_faults == 0 && m.accuracy >= nominal.accuracy - accuracy_tolerance {
+                vmin_mv = m.vccint_mv;
+            } else {
+                break;
+            }
+        }
+        Some(VoltageRegions {
+            vnom_mv: nominal.vccint_mv,
+            vmin_mv,
+            vcrash_mv: sweep.last_alive_mv()?,
+        })
+    }
+}
+
+/// Finds the voltage regions, like the paper's measurement flow: establish
+/// nominal accuracy, lower the rails, mark `Vmin` at the first accuracy
+/// loss and `Vcrash` at the last responsive step. The descent is
+/// coarse-to-fine (4× the step until the first unsafe point, then back up
+/// one coarse step and down at full resolution) — the practical scan any
+/// measurement campaign uses inside a 280 mV guardband. Returns with the
+/// board power-cycled.
+///
+/// # Errors
+///
+/// Propagates non-crash measurement errors.
+pub fn find_regions(
+    acc: &mut Accelerator,
+    cfg: &RegionSearchConfig,
+) -> Result<VoltageRegions, MeasureError> {
+    acc.power_cycle();
+    let nominal = acc.measure(cfg.images)?;
+    let nominal_acc = nominal.accuracy;
+
+    // "Safe" means no accuracy loss over the paper's long soak runs, i.e.
+    // a fault-free operating point: zero observed faults, zero
+    // timing-slack deficit, nominal accuracy.
+    let probe = |acc: &mut Accelerator, mv: f64| -> Result<Option<bool>, MeasureError> {
+        match acc.set_vccint_mv(mv).and_then(|()| acc.measure(cfg.images)) {
+            Ok(m) => {
+                let safe = m.injected_faults == 0
+                    && acc.board().slack_deficit() == 0.0
+                    && m.accuracy >= nominal_acc - cfg.accuracy_tolerance;
+                Ok(Some(safe))
+            }
+            Err(MeasureError::Crashed { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    };
+
+    // Phase 1: coarse descent until the first unsafe/crashed probe.
+    let coarse = cfg.step_mv * 4.0;
+    let mut last_safe_mv = VNOM_MV;
+    let mut mv = VNOM_MV;
+    loop {
+        mv -= coarse;
+        if mv < 450.0 {
+            break;
+        }
+        match probe(acc, mv) {
+            Ok(Some(true)) => last_safe_mv = mv,
+            Ok(Some(false)) | Ok(None) => break,
+            Err(e) => {
+                acc.power_cycle();
+                return Err(e);
+            }
+        }
+    }
+    acc.power_cycle();
+
+    // Phase 2: fine descent from the last coarse-safe voltage.
+    let mut vmin_mv = last_safe_mv;
+    let mut vcrash_mv = last_safe_mv;
+    let mut degraded = false;
+    let mut mv = last_safe_mv;
+    loop {
+        mv -= cfg.step_mv;
+        if mv < 450.0 {
+            break;
+        }
+        match probe(acc, mv) {
+            Ok(Some(safe)) => {
+                vcrash_mv = mv;
+                if !degraded && safe {
+                    vmin_mv = mv;
+                } else {
+                    degraded = true;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                acc.power_cycle();
+                return Err(e);
+            }
+        }
+    }
+    acc.power_cycle();
+    Ok(VoltageRegions {
+        vnom_mv: VNOM_MV,
+        vmin_mv,
+        vcrash_mv,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_suite::BenchmarkId;
+    use crate::experiment::AcceleratorConfig;
+
+    fn regions(board: u32) -> VoltageRegions {
+        let mut acc = Accelerator::bring_up(&AcceleratorConfig {
+            board_sample: board,
+            ..AcceleratorConfig::tiny(BenchmarkId::VggNet)
+        })
+        .unwrap();
+        find_regions(
+            &mut acc,
+            &RegionSearchConfig {
+                step_mv: 5.0,
+                images: 20,
+                accuracy_tolerance: 0.01,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn board0_matches_paper_regions() {
+        let r = regions(0);
+        assert_eq!(r.vnom_mv, 850.0);
+        assert!(
+            (565.0..=575.0).contains(&r.vmin_mv),
+            "Vmin = {} (paper: 570)",
+            r.vmin_mv
+        );
+        assert!(
+            (535.0..=545.0).contains(&r.vcrash_mv),
+            "Vcrash = {} (paper: 540)",
+            r.vcrash_mv
+        );
+        assert!((0.30..0.36).contains(&r.guardband_fraction()));
+        assert!((20.0..=40.0).contains(&r.critical_mv()));
+    }
+
+    #[test]
+    fn three_boards_spread_like_the_paper() {
+        let rs: Vec<VoltageRegions> = (0..3).map(regions).collect();
+        let vmins: Vec<f64> = rs.iter().map(|r| r.vmin_mv).collect();
+        let spread = vmins.iter().cloned().fold(f64::MIN, f64::max)
+            - vmins.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            (15.0..=45.0).contains(&spread),
+            "ΔVmin = {spread} (paper: 31 mV), vmins = {vmins:?}"
+        );
+        let mean = vmins.iter().sum::<f64>() / 3.0;
+        assert!((mean - 570.0).abs() <= 10.0, "mean Vmin = {mean}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Razor-style fault mitigation below the guardband (§9 future work i).
+//!
+//! The paper's §5 rescue (frequency underscaling) trades throughput for
+//! correctness *statically*. This extension evaluates the alternative the
+//! paper proposes as future work: keep the full clock and *detect-and-
+//! retry* timing faults (Razor shadow latches detect violations; the
+//! affected inference re-executes). In the upper critical region faults
+//! are rare enough that retries are cheap and accuracy returns to nominal;
+//! approaching Vcrash the per-inference fault probability saturates and
+//! the scheme collapses — retries stop converging.
+
+use crate::experiment::{Accelerator, MeasureError};
+use redvolt_dpu::runtime::RunError;
+use redvolt_num::stats::Summary;
+
+/// One voltage point of the mitigation study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationPoint {
+    /// `VCCINT` in mV.
+    pub vccint_mv: f64,
+    /// Accuracy with mitigation enabled.
+    pub accuracy: f64,
+    /// Accuracy without mitigation (same operating point).
+    pub unmitigated_accuracy: f64,
+    /// Mean executions per image (the redundancy cost).
+    pub attempts_per_image: f64,
+    /// Effective GOPs/W after paying the redundancy.
+    pub effective_gops_per_w: f64,
+    /// Fraction of images still faulty after the retry budget.
+    pub unresolved_fraction: f64,
+}
+
+/// Result of the mitigation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MitigationStudy {
+    /// Points from the guardband edge down to the last responsive voltage.
+    pub points: Vec<MitigationPoint>,
+}
+
+/// Sweeps the critical region with Razor mitigation at the full clock.
+///
+/// # Errors
+///
+/// Propagates non-crash measurement errors; the sweep ends at the first
+/// hang. The accelerator is power-cycled on return.
+pub fn mitigation_study(
+    acc: &mut Accelerator,
+    start_mv: f64,
+    stop_mv: f64,
+    step_mv: f64,
+    images: usize,
+    max_retries: u32,
+) -> Result<MitigationStudy, MeasureError> {
+    acc.power_cycle();
+    let mut points = Vec::new();
+    let mut mv = start_mv;
+    while mv >= stop_mv - 1e-9 {
+        if acc.set_vccint_mv(mv).is_err() {
+            break;
+        }
+        // Unmitigated reference at the same point.
+        let plain = match acc.measure(images) {
+            Ok(m) => m,
+            Err(MeasureError::Crashed { .. }) => break,
+            Err(e) => {
+                acc.power_cycle();
+                return Err(e);
+            }
+        };
+        let reps = acc.config().repetitions.max(1);
+        let n = images.min(acc.workload().eval.len()).max(1);
+        let mut accs = Vec::with_capacity(reps);
+        let mut attempts = Vec::with_capacity(reps);
+        let mut unresolved = 0u64;
+        let mut eff_gops_per_w = 0.0;
+        let mut crashed = false;
+        for rep in 0..reps {
+            let eval_images: Vec<_> = acc.workload().eval.images[..n].to_vec();
+            let labels: Vec<usize> = acc.workload().eval.labels[..n].to_vec();
+            let seed = acc.config().seed ^ ((rep as u64 + 1) << 32) ^ mv.to_bits();
+            let outcome = {
+                let (runtime, workload) = acc.runtime_and_workload_mut();
+                runtime.run_batch_mitigated(&mut workload.task, &eval_images, seed, max_retries)
+            };
+            match outcome {
+                Ok(r) => {
+                    let hits = r
+                        .predictions
+                        .iter()
+                        .zip(&labels)
+                        .filter(|(p, l)| p == l)
+                        .count();
+                    accs.push(hits as f64 / n as f64);
+                    attempts.push(r.attempts_per_image);
+                    unresolved += r.unresolved_images;
+                    eff_gops_per_w = r.timing.gops / r.on_chip_power_w;
+                }
+                Err(RunError::BoardCrashed) => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => {
+                    acc.power_cycle();
+                    return Err(MeasureError::Run(e));
+                }
+            }
+        }
+        if crashed || accs.is_empty() {
+            break;
+        }
+        points.push(MitigationPoint {
+            vccint_mv: mv,
+            accuracy: Summary::of(&accs).expect("reps >= 1").mean,
+            unmitigated_accuracy: plain.accuracy,
+            attempts_per_image: Summary::of(&attempts).expect("reps >= 1").mean,
+            effective_gops_per_w: eff_gops_per_w,
+            unresolved_fraction: unresolved as f64 / (reps * n) as f64,
+        });
+        mv -= step_mv;
+    }
+    acc.power_cycle();
+    Ok(MitigationStudy { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_suite::BenchmarkId;
+    use crate::experiment::AcceleratorConfig;
+    use redvolt_nn::models::ModelScale;
+
+    fn study() -> MitigationStudy {
+        // Paper scale so the critical region actually faults.
+        let mut acc = Accelerator::bring_up(&AcceleratorConfig {
+            eval_images: 40,
+            repetitions: 2,
+            scale: ModelScale::Paper,
+            ..AcceleratorConfig::tiny(BenchmarkId::VggNet)
+        })
+        .unwrap();
+        mitigation_study(&mut acc, 570.0, 540.0, 10.0, 40, 6).unwrap()
+    }
+
+    #[test]
+    fn mitigation_recovers_accuracy_in_upper_critical_region() {
+        let s = study();
+        let p560 = s
+            .points
+            .iter()
+            .find(|p| (p.vccint_mv - 560.0).abs() < 1e-6)
+            .expect("560 mV measured");
+        assert!(
+            p560.accuracy > p560.unmitigated_accuracy + 0.05,
+            "{p560:?}"
+        );
+        assert!(p560.attempts_per_image > 1.0);
+    }
+
+    #[test]
+    fn mitigation_cost_grows_toward_vcrash() {
+        let s = study();
+        let first = s.points.first().unwrap();
+        let last = s.points.last().unwrap();
+        assert!(last.attempts_per_image > first.attempts_per_image);
+    }
+}

@@ -1,0 +1,116 @@
+//! Undervolting × quantization study (Fig. 7, §6.1).
+//!
+//! Repeats the voltage sweep at INT8..INT4 operand precisions (the paper
+//! finds INT3 and below unusable even at Vnom). Lower precisions draw less
+//! activity power (narrower datapaths) but lose more accuracy both to
+//! quantization noise at Vnom and to undervolting faults below Vmin —
+//! each flipped bit carries more relative magnitude.
+
+use crate::bench_suite::BenchmarkId;
+use crate::experiment::{Accelerator, AcceleratorConfig, MeasureError};
+use crate::sweep::{voltage_sweep, SweepConfig, VoltageSweep};
+
+/// Precisions evaluated in Fig. 7 (INT3 and below lose accuracy at Vnom
+/// and are excluded, as in the paper).
+pub const FIG7_PRECISIONS: [u32; 5] = [8, 7, 6, 5, 4];
+
+/// One precision's sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantCurve {
+    /// Operand precision.
+    pub bits: u32,
+    /// The voltage sweep at this precision.
+    pub sweep: VoltageSweep,
+}
+
+/// The full Fig. 7 study for one benchmark on one board.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantStudy {
+    /// Benchmark studied (the paper reports VGGNet).
+    pub benchmark: BenchmarkId,
+    /// One curve per precision, highest bits first.
+    pub curves: Vec<QuantCurve>,
+}
+
+/// Runs the Fig. 7 campaign: one accelerator bring-up per precision, each
+/// swept over the same voltage schedule.
+///
+/// # Errors
+///
+/// Propagates preparation and non-crash measurement errors.
+pub fn quantization_study(
+    base: &AcceleratorConfig,
+    precisions: &[u32],
+    sweep_cfg: &SweepConfig,
+) -> Result<QuantStudy, MeasureError> {
+    let mut curves = Vec::with_capacity(precisions.len());
+    for &bits in precisions {
+        let mut acc = Accelerator::bring_up(&AcceleratorConfig {
+            bits,
+            ..*base
+        })?;
+        let sweep = voltage_sweep(&mut acc, sweep_cfg)?;
+        curves.push(QuantCurve { bits, sweep });
+    }
+    Ok(QuantStudy {
+        benchmark: base.benchmark,
+        curves,
+    })
+}
+
+impl QuantStudy {
+    /// The curve at a precision.
+    pub fn at_bits(&self, bits: u32) -> Option<&QuantCurve> {
+        self.curves.iter().find(|c| c.bits == bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> QuantStudy {
+        let base = AcceleratorConfig::tiny(BenchmarkId::VggNet);
+        quantization_study(
+            &base,
+            &[8, 4],
+            &SweepConfig {
+                start_mv: 850.0,
+                stop_mv: 540.0,
+                step_mv: 70.0,
+                images: 16,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lower_precision_draws_less_power() {
+        let s = study();
+        let p8 = s.at_bits(8).unwrap().sweep.nominal().power_w;
+        let p4 = s.at_bits(4).unwrap().sweep.nominal().power_w;
+        assert!(p4 < p8, "INT4 {p4} should be below INT8 {p8}");
+    }
+
+    #[test]
+    fn lower_precision_loses_accuracy_at_vnom() {
+        let s = study();
+        let a8 = s.at_bits(8).unwrap().sweep.nominal().accuracy;
+        let a4 = s.at_bits(4).unwrap().sweep.nominal().accuracy;
+        assert!(a4 <= a8, "INT4 {a4} must not beat INT8 {a8}");
+    }
+
+    #[test]
+    fn lower_precision_is_more_power_efficient() {
+        let s = study();
+        for curve in &s.curves {
+            let nominal = curve.sweep.nominal();
+            // GOPs equal across precisions (same ops), power lower for
+            // narrow operands => higher GOPs/W.
+            assert!(nominal.gops > 0.0);
+        }
+        let e8 = s.at_bits(8).unwrap().sweep.nominal().gops_per_w;
+        let e4 = s.at_bits(4).unwrap().sweep.nominal().gops_per_w;
+        assert!(e4 > e8);
+    }
+}

@@ -1,0 +1,176 @@
+//! Voltage sweep campaigns (the backbone of Figs. 4–6).
+
+use crate::experiment::{Accelerator, MeasureError, Measurement};
+
+/// Configuration of a downward voltage sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepConfig {
+    /// First (highest) `VCCINT` in mV.
+    pub start_mv: f64,
+    /// Lowest voltage to attempt, mV.
+    pub stop_mv: f64,
+    /// Step size, mV (the paper scans in 5 mV steps near the critical
+    /// region and coarser above the guardband).
+    pub step_mv: f64,
+    /// Evaluation images per point.
+    pub images: usize,
+}
+
+impl SweepConfig {
+    /// The paper's full sweep: nominal down to past Vcrash in 5 mV steps.
+    pub fn full() -> Self {
+        SweepConfig {
+            start_mv: 850.0,
+            stop_mv: 500.0,
+            step_mv: 5.0,
+            images: 100,
+        }
+    }
+
+    /// A coarse sweep for tests.
+    pub fn coarse(images: usize) -> Self {
+        SweepConfig {
+            start_mv: 850.0,
+            stop_mv: 520.0,
+            step_mv: 20.0,
+            images,
+        }
+    }
+}
+
+/// Result of a downward voltage sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageSweep {
+    /// Successful measurements, highest voltage first.
+    pub points: Vec<Measurement>,
+    /// Voltage at which the board hung, if the sweep reached it.
+    pub crashed_at_mv: Option<f64>,
+}
+
+impl VoltageSweep {
+    /// The measurement at (or nearest below) a commanded voltage.
+    pub fn at_mv(&self, mv: f64) -> Option<&Measurement> {
+        self.points
+            .iter()
+            .find(|m| (m.vccint_mv - mv).abs() < 1e-6)
+    }
+
+    /// The nominal (first) point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty.
+    pub fn nominal(&self) -> &Measurement {
+        self.points.first().expect("sweep has at least one point")
+    }
+
+    /// The last responsive voltage of the sweep (the measured `Vcrash` in
+    /// the paper's terminology: the lowest voltage at which the FPGA is
+    /// still functional).
+    pub fn last_alive_mv(&self) -> Option<f64> {
+        self.points.last().map(|m| m.vccint_mv)
+    }
+}
+
+/// Runs a downward voltage sweep. Stops at the first hang (recording it)
+/// or at `stop_mv`. The accelerator is power-cycled and back at nominal
+/// when this returns.
+///
+/// # Errors
+///
+/// Propagates non-crash errors ([`MeasureError::Pmbus`] etc.).
+pub fn voltage_sweep(
+    acc: &mut Accelerator,
+    cfg: &SweepConfig,
+) -> Result<VoltageSweep, MeasureError> {
+    let mut points = Vec::new();
+    let mut crashed_at_mv = None;
+    let mut mv = cfg.start_mv;
+    while mv >= cfg.stop_mv - 1e-9 {
+        let step_result = acc
+            .set_vccint_mv(mv)
+            .and_then(|()| acc.measure(cfg.images));
+        match step_result {
+            Ok(m) => points.push(m),
+            Err(MeasureError::Crashed { vccint_mv }) => {
+                crashed_at_mv = Some(vccint_mv);
+                break;
+            }
+            Err(e) => {
+                acc.power_cycle();
+                return Err(e);
+            }
+        }
+        mv -= cfg.step_mv;
+    }
+    acc.power_cycle();
+    Ok(VoltageSweep {
+        points,
+        crashed_at_mv,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_suite::BenchmarkId;
+    use crate::experiment::AcceleratorConfig;
+
+    fn sweep() -> VoltageSweep {
+        let mut acc =
+            Accelerator::bring_up(&AcceleratorConfig::tiny(BenchmarkId::VggNet)).unwrap();
+        voltage_sweep(
+            &mut acc,
+            &SweepConfig {
+                start_mv: 850.0,
+                stop_mv: 520.0,
+                step_mv: 10.0,
+                images: 16,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_descends_and_ends_in_crash() {
+        let s = sweep();
+        assert!(s.points.len() > 10);
+        assert!(s.crashed_at_mv.is_some(), "10 mV steps must reach Vcrash");
+        let mvs: Vec<f64> = s.points.iter().map(|m| m.vccint_mv).collect();
+        assert!(mvs.windows(2).all(|w| w[1] < w[0]));
+        assert_eq!(s.nominal().vccint_mv, 850.0);
+    }
+
+    #[test]
+    fn power_decreases_monotonically_with_voltage() {
+        let s = sweep();
+        for w in s.points.windows(2) {
+            assert!(
+                w[1].power_w < w[0].power_w + 0.08,
+                "power should fall: {} -> {} at {}",
+                w[0].power_w,
+                w[1].power_w,
+                w[1].vccint_mv
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_flat_above_570() {
+        let s = sweep();
+        let nominal_acc = s.nominal().accuracy;
+        for m in s.points.iter().filter(|m| m.vccint_mv >= 570.0) {
+            assert_eq!(m.accuracy, nominal_acc, "at {}", m.vccint_mv);
+            assert_eq!(m.injected_faults, 0);
+        }
+    }
+
+    #[test]
+    fn accelerator_is_restored_after_sweep() {
+        let mut acc =
+            Accelerator::bring_up(&AcceleratorConfig::tiny(BenchmarkId::VggNet)).unwrap();
+        voltage_sweep(&mut acc, &SweepConfig::coarse(8)).unwrap();
+        assert!(!acc.board().is_crashed());
+        assert_eq!(acc.vccint_mv(), 850.0);
+    }
+}

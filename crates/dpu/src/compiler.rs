@@ -1,0 +1,215 @@
+//! Graph → DPU kernel compiler.
+//!
+//! Mirrors the DNNDK flow (§3.1): DECENT quantizes the model, then DNNC
+//! maps each layer to the DPU's engines — convolutions and dense layers to
+//! the MAC array, pooling / element-wise / concat to the misc engine, and
+//! softmax to the PS host. The compiler computes, per layer, the
+//! utilization-adjusted cycle cost and the DDR feature/weight traffic the
+//! engine model charges at run time.
+
+use crate::isa::{DpuInstr, DpuKernel};
+use crate::memory;
+use redvolt_nn::graph::{Graph, Op};
+use std::fmt;
+
+/// Errors from kernel compilation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The graph still contains batch-norm layers (must be folded first,
+    /// as DECENT does).
+    UnfoldedBatchNorm {
+        /// Offending layer name.
+        layer: String,
+    },
+    /// Unsupported precision.
+    BadPrecision {
+        /// Requested bits.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnfoldedBatchNorm { layer } => {
+                write!(f, "fold batch norms before compiling (layer {layer})")
+            }
+            CompileError::BadPrecision { bits } => write!(f, "unsupported precision INT{bits}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Bytes occupied by `codes` values of `bits`-wide operands (packed).
+fn packed_bytes(codes: usize, bits: u32) -> u64 {
+    ((codes as u64) * u64::from(bits)).div_ceil(8)
+}
+
+/// Compiles `graph` into a DPU kernel at `bits` precision.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UnfoldedBatchNorm`] if the graph contains BN
+/// layers and [`CompileError::BadPrecision`] if `bits` is not in `1..=8`.
+pub fn compile(name: &str, graph: &Graph, bits: u32) -> Result<DpuKernel, CompileError> {
+    if !(1..=8).contains(&bits) {
+        return Err(CompileError::BadPrecision { bits });
+    }
+    let mut instrs = Vec::new();
+    let mut weight_bytes = 0u64;
+    for (id, node) in graph.nodes().iter().enumerate() {
+        let out_shape = graph.shape(id);
+        let out_bytes = packed_bytes(out_shape.len(), bits);
+        let in_bytes: u64 = node
+            .inputs
+            .iter()
+            .map(|&i| packed_bytes(graph.shape(i).len(), bits))
+            .sum();
+        match &node.op {
+            Op::Input { .. } => {}
+            Op::Conv {
+                params, weights, ..
+            } => {
+                let wb = packed_bytes(weights.len(), bits);
+                weight_bytes += wb;
+                instrs.push(DpuInstr::LoadWeights {
+                    layer: node.name.clone(),
+                    bytes: wb,
+                });
+                let out_pixels = (out_shape.h * out_shape.w) as u64;
+                let k2ic = (params.k * params.k * params.in_ch) as u64;
+                let macs = out_pixels * out_shape.c as u64 * k2ic;
+                instrs.push(DpuInstr::Conv {
+                    layer: node.name.clone(),
+                    macs,
+                    cycles: memory::conv_cycles(out_pixels, out_shape.c as u64, k2ic),
+                    in_bytes,
+                    out_bytes,
+                });
+            }
+            Op::Dense {
+                in_len,
+                out_len,
+                weights,
+                ..
+            } => {
+                let wb = packed_bytes(weights.len(), bits);
+                weight_bytes += wb;
+                instrs.push(DpuInstr::LoadWeights {
+                    layer: node.name.clone(),
+                    bytes: wb,
+                });
+                let macs = (*in_len * *out_len) as u64;
+                instrs.push(DpuInstr::Fc {
+                    layer: node.name.clone(),
+                    macs,
+                    cycles: memory::conv_cycles(1, *out_len as u64, *in_len as u64),
+                    in_bytes,
+                    out_bytes,
+                });
+            }
+            Op::MaxPool { .. }
+            | Op::AvgPool { .. }
+            | Op::GlobalAvgPool
+            | Op::Add { .. }
+            | Op::Concat => {
+                // Misc-engine layers are fused with their producers in the
+                // DPU schedule: their features stay in BRAM, so they charge
+                // cycles but no DDR traffic.
+                let _ = (in_bytes, out_bytes);
+                instrs.push(DpuInstr::Misc {
+                    layer: node.name.clone(),
+                    cycles: memory::misc_cycles(out_shape.len() as u64),
+                    in_bytes: 0,
+                    out_bytes: 0,
+                });
+            }
+            Op::Softmax => {
+                instrs.push(DpuInstr::HostOp {
+                    layer: node.name.clone(),
+                });
+            }
+            Op::BatchNorm { .. } => {
+                return Err(CompileError::UnfoldedBatchNorm {
+                    layer: node.name.clone(),
+                })
+            }
+        }
+    }
+    Ok(DpuKernel {
+        name: name.to_string(),
+        bits,
+        instrs,
+        weight_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redvolt_nn::models::{ModelKind, ModelScale};
+
+    #[test]
+    fn kernel_macs_match_graph_macs() {
+        let g = ModelKind::VggNet.build(ModelScale::Tiny);
+        let k = compile("vgg", &g, 8).unwrap();
+        assert_eq!(k.total_macs(), g.mac_count());
+    }
+
+    #[test]
+    fn rejects_unfolded_batch_norm() {
+        let g = ModelKind::ResNet50.build(ModelScale::Tiny);
+        assert!(matches!(
+            compile("resnet", &g, 8),
+            Err(CompileError::UnfoldedBatchNorm { .. })
+        ));
+        assert!(compile("resnet", &g.fold_batch_norms(), 8).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_precision() {
+        let g = ModelKind::VggNet.build(ModelScale::Tiny);
+        assert!(matches!(
+            compile("vgg", &g, 0),
+            Err(CompileError::BadPrecision { .. })
+        ));
+        assert!(matches!(
+            compile("vgg", &g, 16),
+            Err(CompileError::BadPrecision { .. })
+        ));
+    }
+
+    #[test]
+    fn lower_precision_shrinks_traffic() {
+        let g = ModelKind::VggNet.build(ModelScale::Tiny);
+        let k8 = compile("vgg", &g, 8).unwrap();
+        let k4 = compile("vgg", &g, 4).unwrap();
+        assert_eq!(k4.total_macs(), k8.total_macs());
+        assert!(k4.weight_bytes < k8.weight_bytes);
+        assert!(k4.total_feature_bytes() < k8.total_feature_bytes());
+    }
+
+    #[test]
+    fn every_weight_layer_gets_a_load() {
+        let g = ModelKind::GoogleNet.build(ModelScale::Tiny);
+        let k = compile("googlenet", &g, 8).unwrap();
+        let loads = k
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, DpuInstr::LoadWeights { .. }))
+            .count();
+        assert_eq!(loads, g.weight_layer_count());
+    }
+
+    #[test]
+    fn softmax_is_a_host_op() {
+        let g = ModelKind::VggNet.build(ModelScale::Tiny);
+        let k = compile("vgg", &g, 8).unwrap();
+        assert!(k
+            .instrs
+            .iter()
+            .any(|i| matches!(i, DpuInstr::HostOp { .. })));
+    }
+}

@@ -1,0 +1,165 @@
+//! Cycle/traffic-accounted execution timing.
+//!
+//! Each B4096 core runs one inference at a time; the three-core cluster
+//! processes independent images (DNNDK's multi-threaded task model), so
+//! cluster throughput is three single-core pipelines sharing DDR (the
+//! bandwidth split is already folded into
+//! [`crate::memory::DDR_BW_PER_CORE_BPS`]).
+//!
+//! The per-image time is the sum of MAC-array/misc-engine compute time
+//! (scaling with the DPU clock) and DDR transfer time (clock-independent).
+//! This additive roofline is what the paper's Table 2 measures: GOPs falls
+//! only 17 % when the clock drops 25 %, because ≈42 % of the runtime is
+//! memory-bound at 333 MHz.
+
+use crate::isa::DpuKernel;
+use crate::memory;
+
+/// Number of DPU cores in the baseline configuration (three B4096, §3.3.1).
+pub const DEFAULT_CORES: usize = 3;
+
+/// Timing of a kernel at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Single-image latency on one core, seconds.
+    pub t_image_s: f64,
+    /// Compute portion of the latency, seconds.
+    pub t_compute_s: f64,
+    /// DDR portion of the latency, seconds.
+    pub t_memory_s: f64,
+    /// Cluster throughput, images per second.
+    pub images_per_s: f64,
+    /// Effective throughput in giga-operations per second (2 ops/MAC).
+    pub gops: f64,
+    /// Fraction of the per-image time spent stalled on DDR.
+    pub stall_fraction: f64,
+}
+
+/// Computes the timing of `kernel` at `f_mhz` on a cluster of `cores`.
+///
+/// Per-inference weight traffic is the BRAM-buffer overflow only (see
+/// [`memory::streamed_weight_bytes`]); models that fit keep their weights
+/// resident.
+///
+/// # Panics
+///
+/// Panics if `f_mhz` is not positive or `cores` is zero.
+pub fn timing(kernel: &DpuKernel, f_mhz: f64, cores: usize) -> Timing {
+    assert!(f_mhz > 0.0, "clock must be positive");
+    assert!(cores > 0, "need at least one core");
+    let t_compute_s = kernel.total_cycles() as f64 / (f_mhz * 1e6);
+    let bytes =
+        kernel.total_feature_bytes() + memory::streamed_weight_bytes(kernel.weight_bytes);
+    let t_memory_s = memory::ddr_time_s(bytes);
+    let t_image_s = t_compute_s + t_memory_s;
+    let images_per_s = cores as f64 / t_image_s;
+    let gops = kernel.total_ops() as f64 * images_per_s / 1e9;
+    Timing {
+        t_image_s,
+        t_compute_s,
+        t_memory_s,
+        images_per_s,
+        gops,
+        stall_fraction: t_memory_s / t_image_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use redvolt_nn::models::{ModelKind, ModelScale};
+
+    fn paper_kernels() -> Vec<DpuKernel> {
+        ModelKind::ALL
+            .iter()
+            .map(|&k| {
+                compile(
+                    k.name(),
+                    &k.build(ModelScale::Paper).fold_batch_norms(),
+                    8,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mean_stall_share_matches_table2_calibration() {
+        // Table 2's GOPs column implies ≈42% memory-stall share at 333 MHz.
+        let kernels = paper_kernels();
+        let mean: f64 = kernels
+            .iter()
+            .map(|k| timing(k, 333.0, DEFAULT_CORES).stall_fraction)
+            .sum::<f64>()
+            / kernels.len() as f64;
+        assert!((0.32..=0.52).contains(&mean), "mean stall = {mean}");
+    }
+
+    #[test]
+    fn gops_scaling_matches_table2_column() {
+        // Normalized GOPs at the Table-2 clocks, averaged over benchmarks.
+        let kernels = paper_kernels();
+        let mean_ratio = |f: f64| -> f64 {
+            kernels
+                .iter()
+                .map(|k| timing(k, f, DEFAULT_CORES).gops / timing(k, 333.0, DEFAULT_CORES).gops)
+                .sum::<f64>()
+                / kernels.len() as f64
+        };
+        let g300 = mean_ratio(300.0);
+        let g250 = mean_ratio(250.0);
+        let g200 = mean_ratio(200.0);
+        assert!((g300 - 0.94).abs() < 0.03, "g300 = {g300}");
+        assert!((g250 - 0.83).abs() < 0.04, "g250 = {g250}");
+        assert!((g200 - 0.70).abs() < 0.05, "g200 = {g200}");
+    }
+
+    #[test]
+    fn throughput_scales_with_cores() {
+        let k = &paper_kernels()[0];
+        let one = timing(k, 333.0, 1);
+        let three = timing(k, 333.0, 3);
+        assert!((three.images_per_s / one.images_per_s - 3.0).abs() < 1e-9);
+        assert_eq!(one.t_image_s, three.t_image_s);
+    }
+
+    #[test]
+    fn alexnet_overflows_bram_and_pays_weight_traffic() {
+        let kernels = paper_kernels();
+        let alex = kernels
+            .iter()
+            .find(|k| k.name == "AlexNet")
+            .expect("alexnet kernel");
+        assert!(!crate::memory::weights_resident(alex.weight_bytes));
+        assert!(crate::memory::streamed_weight_bytes(alex.weight_bytes) > 0);
+        // The other four models keep their weights fully resident.
+        for k in kernels.iter().filter(|k| k.name != "AlexNet") {
+            assert!(
+                crate::memory::weights_resident(k.weight_bytes),
+                "{} should be resident",
+                k.name
+            );
+        }
+        // Weight streaming makes AlexNet slower than pure feature traffic.
+        let t = timing(alex, 333.0, 3);
+        let feature_only = crate::memory::ddr_time_s(alex.total_feature_bytes());
+        assert!(t.t_memory_s > feature_only);
+    }
+
+    #[test]
+    fn compute_time_scales_inversely_with_clock() {
+        let k = &paper_kernels()[0];
+        let fast = timing(k, 333.0, 3);
+        let slow = timing(k, 166.5, 3);
+        assert!((slow.t_compute_s / fast.t_compute_s - 2.0).abs() < 1e-9);
+        assert_eq!(slow.t_memory_s, fast.t_memory_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock must be positive")]
+    fn zero_clock_panics() {
+        let k = &paper_kernels()[0];
+        timing(k, 0.0, 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! The DPU kernel representation.
+//!
+//! The DNNDK toolchain compiles a CNN into a *kernel*: a sequence of
+//! coarse-grained instructions the DPU micro-sequencer executes per input
+//! (load weights/features, run a convolution or pooling tile schedule,
+//! store features). We model the instruction stream at layer granularity —
+//! the level at which cycle and DDR-traffic accounting is defined by the
+//! DPU product guide's performance model.
+
+/// One coarse-grained DPU instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpuInstr {
+    /// Stream weights for a layer from DDR into the on-chip weight buffer.
+    LoadWeights {
+        /// Layer name.
+        layer: String,
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// Run a convolution layer on the MAC array.
+    Conv {
+        /// Layer name.
+        layer: String,
+        /// Multiply-accumulate operations.
+        macs: u64,
+        /// MAC-array cycles (utilization-adjusted).
+        cycles: u64,
+        /// Input feature bytes streamed.
+        in_bytes: u64,
+        /// Output feature bytes written.
+        out_bytes: u64,
+    },
+    /// Run a fully-connected layer.
+    Fc {
+        /// Layer name.
+        layer: String,
+        /// Multiply-accumulate operations.
+        macs: u64,
+        /// MAC-array cycles.
+        cycles: u64,
+        /// Input feature bytes streamed.
+        in_bytes: u64,
+        /// Output feature bytes written.
+        out_bytes: u64,
+    },
+    /// Pooling / element-wise / concat (misc engine) layer.
+    Misc {
+        /// Layer name.
+        layer: String,
+        /// Engine cycles.
+        cycles: u64,
+        /// Input feature bytes streamed.
+        in_bytes: u64,
+        /// Output feature bytes written.
+        out_bytes: u64,
+    },
+    /// A layer executed on the PS host (softmax in DNNDK).
+    HostOp {
+        /// Layer name.
+        layer: String,
+    },
+}
+
+impl DpuInstr {
+    /// MAC operations of this instruction.
+    pub fn macs(&self) -> u64 {
+        match self {
+            DpuInstr::Conv { macs, .. } | DpuInstr::Fc { macs, .. } => *macs,
+            _ => 0,
+        }
+    }
+
+    /// Compute cycles of this instruction.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            DpuInstr::Conv { cycles, .. }
+            | DpuInstr::Fc { cycles, .. }
+            | DpuInstr::Misc { cycles, .. } => *cycles,
+            _ => 0,
+        }
+    }
+
+    /// Feature bytes moved over DDR by this instruction per inference.
+    pub fn feature_bytes(&self) -> u64 {
+        match self {
+            DpuInstr::Conv {
+                in_bytes, out_bytes, ..
+            }
+            | DpuInstr::Fc {
+                in_bytes, out_bytes, ..
+            }
+            | DpuInstr::Misc {
+                in_bytes, out_bytes, ..
+            } => in_bytes + out_bytes,
+            _ => 0,
+        }
+    }
+
+    /// Weight bytes loaded by this instruction.
+    pub fn weight_bytes(&self) -> u64 {
+        match self {
+            DpuInstr::LoadWeights { bytes, .. } => *bytes,
+            _ => 0,
+        }
+    }
+}
+
+/// A compiled DPU kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpuKernel {
+    /// Kernel (benchmark) name.
+    pub name: String,
+    /// Operand precision in bits.
+    pub bits: u32,
+    /// Instruction stream in execution order.
+    pub instrs: Vec<DpuInstr>,
+    /// Total weight bytes of the model.
+    pub weight_bytes: u64,
+}
+
+impl DpuKernel {
+    /// Total MAC operations per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.instrs.iter().map(DpuInstr::macs).sum()
+    }
+
+    /// Total compute cycles per inference (at full clock availability).
+    pub fn total_cycles(&self) -> u64 {
+        self.instrs.iter().map(DpuInstr::cycles).sum()
+    }
+
+    /// Total feature bytes over DDR per inference.
+    pub fn total_feature_bytes(&self) -> u64 {
+        self.instrs.iter().map(DpuInstr::feature_bytes).sum()
+    }
+
+    /// Effective operations per inference (2 ops per MAC, the GOPs
+    /// convention of the paper).
+    pub fn total_ops(&self) -> u64 {
+        2 * self.total_macs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> DpuKernel {
+        DpuKernel {
+            name: "test".to_string(),
+            bits: 8,
+            instrs: vec![
+                DpuInstr::LoadWeights {
+                    layer: "c1".to_string(),
+                    bytes: 100,
+                },
+                DpuInstr::Conv {
+                    layer: "c1".to_string(),
+                    macs: 1000,
+                    cycles: 10,
+                    in_bytes: 64,
+                    out_bytes: 32,
+                },
+                DpuInstr::Misc {
+                    layer: "p1".to_string(),
+                    cycles: 2,
+                    in_bytes: 32,
+                    out_bytes: 8,
+                },
+                DpuInstr::Fc {
+                    layer: "fc".to_string(),
+                    macs: 500,
+                    cycles: 5,
+                    in_bytes: 8,
+                    out_bytes: 4,
+                },
+                DpuInstr::HostOp {
+                    layer: "softmax".to_string(),
+                },
+            ],
+            weight_bytes: 100,
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_correctly() {
+        let k = kernel();
+        assert_eq!(k.total_macs(), 1500);
+        assert_eq!(k.total_ops(), 3000);
+        assert_eq!(k.total_cycles(), 17);
+        assert_eq!(k.total_feature_bytes(), 64 + 32 + 32 + 8 + 8 + 4);
+    }
+
+    #[test]
+    fn host_ops_cost_nothing_on_dpu() {
+        let h = DpuInstr::HostOp {
+            layer: "sm".to_string(),
+        };
+        assert_eq!(h.macs(), 0);
+        assert_eq!(h.cycles(), 0);
+        assert_eq!(h.feature_bytes(), 0);
+    }
+}

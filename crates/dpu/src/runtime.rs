@@ -1,0 +1,477 @@
+//! DNNDK-style runtime: tasks bound to a board.
+//!
+//! Mirrors the paper's software stack (§3.1): a kernel is created from a
+//! quantized model, then tasks run batches of images on the DPU cluster.
+//! The runtime publishes the running workload to the board (so power
+//! telemetry reflects the live load), derives the fault injector from the
+//! board's timing slack at the current operating point, and executes the
+//! quantized datapath image by image. If the operating point is outside
+//! the responsive region, the board hangs — exactly the paper's behaviour
+//! below `Vcrash` — and the run fails until a power cycle.
+
+use crate::compiler::{self, CompileError};
+use crate::engine::{self, Timing, DEFAULT_CORES};
+use crate::isa::DpuKernel;
+use redvolt_faults::board_injector;
+use redvolt_faults::model::DENSE_CRASH_SLACK_RATIO;
+use redvolt_fpga::board::Zcu102Board;
+use redvolt_fpga::calib::F_NOM_MHZ;
+use redvolt_fpga::power::LoadProfile;
+use redvolt_nn::graph::{Graph, GraphError};
+use redvolt_nn::quant::QuantizedGraph;
+use redvolt_nn::tensor::Tensor;
+use std::fmt;
+
+/// Errors from runtime operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The board is hung (operating point below its crash boundary);
+    /// power-cycle to recover.
+    BoardCrashed,
+    /// Kernel compilation failed.
+    Compile(CompileError),
+    /// Inference failed (bad image shape, etc.).
+    Graph(GraphError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::BoardCrashed => write!(f, "board is hung; power-cycle required"),
+            RunError::Compile(e) => write!(f, "compile error: {e}"),
+            RunError::Graph(e) => write!(f, "inference error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<CompileError> for RunError {
+    fn from(e: CompileError) -> Self {
+        RunError::Compile(e)
+    }
+}
+
+impl From<GraphError> for RunError {
+    fn from(e: GraphError) -> Self {
+        RunError::Graph(e)
+    }
+}
+
+/// A loaded DPU task: compiled kernel + quantized model.
+#[derive(Debug, Clone)]
+pub struct DpuTask {
+    /// The compiled kernel (timing/traffic model).
+    pub kernel: DpuKernel,
+    qgraph: QuantizedGraph,
+    /// Throughput of this kernel at the nominal clock, used to normalize
+    /// the board's activity (`ops_rate_norm = 1` at 333 MHz).
+    nominal_gops: f64,
+    /// Workload-dependent crash margin (pruned designs are tighter).
+    crash_slack_ratio: f64,
+    /// Workload critical-path factor (see `LoadProfile`): FC-heavy
+    /// instruction mixes stress the DSP cascades slightly harder, giving
+    /// the paper's "slight workload-to-workload variation" in Fig. 3.
+    critical_path_factor: f64,
+}
+
+impl DpuTask {
+    /// Creates a task from an (already batch-norm-folded) graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and quantization errors.
+    pub fn create(
+        name: &str,
+        graph: &Graph,
+        bits: u32,
+        calib_images: &[Tensor],
+    ) -> Result<Self, RunError> {
+        let kernel = compiler::compile(name, graph, bits)?;
+        let qgraph = QuantizedGraph::quantize(graph, bits, calib_images)?;
+        let nominal_gops = engine::timing(&kernel, F_NOM_MHZ, DEFAULT_CORES).gops;
+        // FC cycle share of the kernel, mapped onto a sub-percent path
+        // stress factor (at most +0.6% effective clock, a ~3 mV Vmin
+        // shift -- "slight variation" in the paper's words).
+        let fc_cycles: u64 = kernel
+            .instrs
+            .iter()
+            .map(|i| match i {
+                crate::isa::DpuInstr::Fc { cycles, .. } => *cycles,
+                _ => 0,
+            })
+            .sum();
+        let fc_share = fc_cycles as f64 / kernel.total_cycles().max(1) as f64;
+        Ok(DpuTask {
+            kernel,
+            qgraph,
+            nominal_gops,
+            crash_slack_ratio: DENSE_CRASH_SLACK_RATIO,
+            critical_path_factor: 1.0 + 0.006 * fc_share,
+        })
+    }
+
+    /// Overrides the crash margin (used for pruned workloads; Fig. 8).
+    pub fn with_crash_slack_ratio(mut self, ratio: f64) -> Self {
+        self.crash_slack_ratio = ratio;
+        self
+    }
+
+    /// The task's quantized model (e.g. for calibrated label generation).
+    pub fn model_mut(&mut self) -> &mut QuantizedGraph {
+        &mut self.qgraph
+    }
+
+    /// Operand precision.
+    pub fn bits(&self) -> u32 {
+        self.kernel.bits
+    }
+
+    /// Workload critical-path factor derived from the kernel's
+    /// instruction mix (1.0 = pure-conv reference; FC-heavy mixes are
+    /// slightly higher).
+    pub fn critical_path_factor(&self) -> f64 {
+        self.critical_path_factor
+    }
+}
+
+/// Result of one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-image predicted classes.
+    pub predictions: Vec<usize>,
+    /// Timing at the operating point.
+    pub timing: Timing,
+    /// Exact on-chip power during the run, watts (telemetry via PMBus is
+    /// the experiment layer's job; this is the physical value).
+    pub on_chip_power_w: f64,
+    /// Junction temperature during the run, °C.
+    pub junction_c: f64,
+    /// Transient bit flips injected during the batch.
+    pub injected_faults: u64,
+}
+
+/// Result of a Razor-mitigated batch run.
+#[derive(Debug, Clone)]
+pub struct MitigatedBatchResult {
+    /// Per-image predicted classes (after retries).
+    pub predictions: Vec<usize>,
+    /// Timing with effective (retry-degraded) throughput rates.
+    pub timing: Timing,
+    /// On-chip power during the run, watts.
+    pub on_chip_power_w: f64,
+    /// Mean executions per image (1.0 = no retries).
+    pub attempts_per_image: f64,
+    /// Images whose final attempt still contained faults.
+    pub unresolved_images: u64,
+}
+
+/// The DNNDK-style runtime bound to one board.
+#[derive(Debug)]
+pub struct DpuRuntime {
+    board: Zcu102Board,
+    f_mhz: f64,
+    cores: usize,
+}
+
+impl DpuRuntime {
+    /// Opens the runtime on a board with the default 3-core cluster at the
+    /// nominal 333 MHz clock.
+    pub fn open(board: Zcu102Board) -> Self {
+        DpuRuntime {
+            board,
+            f_mhz: F_NOM_MHZ,
+            cores: DEFAULT_CORES,
+        }
+    }
+
+    /// The underlying board (telemetry, PMBus).
+    pub fn board(&self) -> &Zcu102Board {
+        &self.board
+    }
+
+    /// Mutable access to the board (voltage control, power cycling).
+    pub fn board_mut(&mut self) -> &mut Zcu102Board {
+        &mut self.board
+    }
+
+    /// Current DPU clock in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        self.f_mhz
+    }
+
+    /// Sets the DPU clock (frequency underscaling, §5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_mhz` is not positive.
+    pub fn set_clock_mhz(&mut self, f_mhz: f64) {
+        assert!(f_mhz > 0.0, "clock must be positive");
+        self.f_mhz = f_mhz;
+    }
+
+    /// Timing of a task at the current clock (no execution).
+    pub fn timing(&self, task: &DpuTask) -> Timing {
+        engine::timing(&task.kernel, self.f_mhz, self.cores)
+    }
+
+    /// Runs a batch with Razor-style detect-and-retry fault mitigation
+    /// (the paper's future-work item i, §9): shadow-latch style error
+    /// detection flags any timing fault during an inference, and the
+    /// image is re-executed (faults are transient, so retries draw fresh
+    /// fault outcomes) up to `max_retries` times. Throughput pays for the
+    /// re-executions: the returned timing's effective rates are scaled by
+    /// `images / attempts`.
+    ///
+    /// # Errors
+    ///
+    /// See [`DpuRuntime::run_batch`].
+    pub fn run_batch_mitigated(
+        &mut self,
+        task: &mut DpuTask,
+        images: &[Tensor],
+        seed: u64,
+        max_retries: u32,
+    ) -> Result<MitigatedBatchResult, RunError> {
+        if self.board.is_crashed() {
+            return Err(RunError::BoardCrashed);
+        }
+        let timing = engine::timing(&task.kernel, self.f_mhz, self.cores);
+        let load = LoadProfile {
+            f_mhz: self.f_mhz,
+            ops_rate_norm: timing.gops / task.nominal_gops,
+            energy_per_op_factor: LoadProfile::energy_factor_for_bits(task.kernel.bits),
+            critical_path_factor: task.critical_path_factor,
+        };
+        self.board.set_crash_slack_ratio(task.crash_slack_ratio);
+        self.board.set_load(load);
+        if self.board.is_crashed() {
+            return Err(RunError::BoardCrashed);
+        }
+        let mut predictions = Vec::with_capacity(images.len());
+        let mut attempts_total = 0u64;
+        let mut unresolved = 0u64;
+        for (i, img) in images.iter().enumerate() {
+            let mut attempt = 0u32;
+            loop {
+                attempts_total += 1;
+                let mut injector =
+                    board_injector(&self.board, seed ^ ((i as u64) << 20) ^ u64::from(attempt));
+                let pred = task.qgraph.predict_with(img, &mut injector)?;
+                if injector.event_count() == 0 || attempt >= max_retries {
+                    if injector.event_count() > 0 {
+                        unresolved += 1;
+                    }
+                    predictions.push(pred);
+                    break;
+                }
+                attempt += 1;
+            }
+        }
+        let redundancy = attempts_total as f64 / images.len().max(1) as f64;
+        let mut effective = timing;
+        effective.images_per_s /= redundancy;
+        effective.gops /= redundancy;
+        Ok(MitigatedBatchResult {
+            predictions,
+            timing: effective,
+            on_chip_power_w: self.board.on_chip_power_w(),
+            attempts_per_image: redundancy,
+            unresolved_images: unresolved,
+        })
+    }
+
+    /// Runs a batch of images, returning predictions and measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::BoardCrashed`] when the operating point is
+    /// outside the responsive region (or the board was already hung), and
+    /// propagates inference errors.
+    pub fn run_batch(
+        &mut self,
+        task: &mut DpuTask,
+        images: &[Tensor],
+        seed: u64,
+    ) -> Result<BatchResult, RunError> {
+        if self.board.is_crashed() {
+            return Err(RunError::BoardCrashed);
+        }
+        let timing = engine::timing(&task.kernel, self.f_mhz, self.cores);
+        let load = LoadProfile {
+            f_mhz: self.f_mhz,
+            ops_rate_norm: timing.gops / task.nominal_gops,
+            energy_per_op_factor: LoadProfile::energy_factor_for_bits(task.kernel.bits),
+            critical_path_factor: task.critical_path_factor,
+        };
+        self.board.set_crash_slack_ratio(task.crash_slack_ratio);
+        self.board.set_load(load);
+        if self.board.is_crashed() {
+            return Err(RunError::BoardCrashed);
+        }
+        let mut injector = board_injector(&self.board, seed);
+        let mut predictions = Vec::with_capacity(images.len());
+        for img in images {
+            predictions.push(task.qgraph.predict_with(img, &mut injector)?);
+        }
+        Ok(BatchResult {
+            predictions,
+            timing,
+            on_chip_power_w: self.board.on_chip_power_w(),
+            junction_c: self.board.junction_c(),
+            injected_faults: injector.injected_count(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redvolt_nn::dataset::SyntheticDataset;
+    use redvolt_nn::models::{ModelKind, ModelScale};
+    use redvolt_pmbus::adapter::PmbusAdapter;
+
+    fn setup() -> (DpuRuntime, DpuTask, Vec<Tensor>) {
+        let graph = ModelKind::VggNet.build(ModelScale::Tiny).fold_batch_norms();
+        let ds = SyntheticDataset::new(32, 32, 3, 10, 42);
+        let calib = ds.images(4);
+        let task = DpuTask::create("vgg", &graph, 8, &calib).unwrap();
+        let rt = DpuRuntime::open(Zcu102Board::new(0).with_exact_telemetry());
+        (rt, task, ds.images(12))
+    }
+
+    #[test]
+    fn clean_run_at_nominal() {
+        let (mut rt, mut task, images) = setup();
+        let r = rt.run_batch(&mut task, &images, 1).unwrap();
+        assert_eq!(r.predictions.len(), 12);
+        assert_eq!(r.injected_faults, 0);
+        assert!((r.on_chip_power_w - 12.59).abs() < 0.1);
+        assert!(r.timing.gops > 0.0);
+    }
+
+    #[test]
+    fn guardband_run_is_fault_free_and_cheaper() {
+        let (mut rt, mut task, images) = setup();
+        let nominal = rt.run_batch(&mut task, &images, 1).unwrap();
+        let mut host = PmbusAdapter::new();
+        host.set_vout(rt.board_mut(), 0x13, 0.570).unwrap();
+        let vmin = rt.run_batch(&mut task, &images, 1).unwrap();
+        assert_eq!(vmin.injected_faults, 0);
+        assert_eq!(vmin.predictions, nominal.predictions);
+        assert!(vmin.on_chip_power_w < nominal.on_chip_power_w / 2.0);
+        assert_eq!(vmin.timing.gops, nominal.timing.gops);
+    }
+
+    #[test]
+    fn critical_region_injects_faults() {
+        let (mut rt, mut task, images) = setup();
+        let mut host = PmbusAdapter::new();
+        host.set_vout(rt.board_mut(), 0x13, 0.542).unwrap();
+        let r = rt.run_batch(&mut task, &images, 1).unwrap();
+        assert!(r.injected_faults > 0, "expected faults at 542 mV");
+    }
+
+    #[test]
+    fn crash_below_vcrash_and_power_cycle_recovers() {
+        let (mut rt, mut task, images) = setup();
+        let mut host = PmbusAdapter::new();
+        host.set_vout(rt.board_mut(), 0x13, 0.535).unwrap();
+        assert!(matches!(
+            rt.run_batch(&mut task, &images, 1),
+            Err(RunError::BoardCrashed)
+        ));
+        rt.board_mut().power_cycle();
+        assert!(rt.run_batch(&mut task, &images, 1).is_ok());
+    }
+
+    #[test]
+    fn frequency_underscaling_restores_correctness() {
+        // Table 2's flow: at 545 mV the 333 MHz run faults; 250 MHz doesn't.
+        let (mut rt, mut task, images) = setup();
+        let clean = rt.run_batch(&mut task, &images, 1).unwrap();
+        let mut host = PmbusAdapter::new();
+        host.set_vout(rt.board_mut(), 0x13, 0.545).unwrap();
+        rt.set_clock_mhz(250.0);
+        let r = rt.run_batch(&mut task, &images, 1).unwrap();
+        assert_eq!(r.injected_faults, 0);
+        assert_eq!(r.predictions, clean.predictions);
+        assert!(r.timing.gops < clean.timing.gops);
+    }
+
+    #[test]
+    fn lower_clock_lowers_power_and_throughput() {
+        let (mut rt, mut task, images) = setup();
+        let fast = rt.run_batch(&mut task, &images, 1).unwrap();
+        rt.set_clock_mhz(200.0);
+        let slow = rt.run_batch(&mut task, &images, 1).unwrap();
+        assert!(slow.timing.gops < fast.timing.gops);
+        assert!(slow.on_chip_power_w < fast.on_chip_power_w);
+    }
+
+    #[test]
+    fn mitigated_run_is_clean_at_nominal_with_no_retries() {
+        let (mut rt, mut task, images) = setup();
+        let r = rt.run_batch_mitigated(&mut task, &images, 1, 3).unwrap();
+        assert_eq!(r.attempts_per_image, 1.0);
+        assert_eq!(r.unresolved_images, 0);
+        assert_eq!(r.predictions.len(), images.len());
+    }
+
+    #[test]
+    fn mitigated_run_retries_and_recovers_in_critical_region() {
+        let (mut rt, mut task, images) = setup();
+        let clean = rt.run_batch(&mut task, &images, 1).unwrap();
+        let mut host = PmbusAdapter::new();
+        host.set_vout(rt.board_mut(), 0x13, 0.542).unwrap();
+        let mitigated = rt.run_batch_mitigated(&mut task, &images, 1, 8).unwrap();
+        assert!(
+            mitigated.attempts_per_image > 1.0,
+            "retries expected at 542 mV: {mitigated:?}"
+        );
+        // Resolved images carry clean predictions.
+        if mitigated.unresolved_images == 0 {
+            assert_eq!(mitigated.predictions, clean.predictions);
+        }
+        // Throughput pays for redundancy.
+        assert!(mitigated.timing.gops < clean.timing.gops);
+    }
+
+    #[test]
+    fn fc_heavy_workloads_stress_paths_slightly_harder() {
+        // AlexNet's dense-dominated mix gets a (slightly) higher
+        // critical-path factor than conv-dominated GoogleNet -- the
+        // paper's "slight workload-to-workload variation" (Fig. 3).
+        let ds_a = SyntheticDataset::new(48, 48, 3, 2, 42);
+        let alex = DpuTask::create(
+            "alexnet",
+            &ModelKind::AlexNet.build(ModelScale::Tiny).fold_batch_norms(),
+            8,
+            &ds_a.images(2),
+        )
+        .unwrap();
+        let ds_g = SyntheticDataset::new(32, 32, 3, 10, 42);
+        let google = DpuTask::create(
+            "googlenet",
+            &ModelKind::GoogleNet.build(ModelScale::Tiny).fold_batch_norms(),
+            8,
+            &ds_g.images(2),
+        )
+        .unwrap();
+        assert!(alex.critical_path_factor() > google.critical_path_factor());
+        assert!(alex.critical_path_factor() < 1.007);
+        assert!(google.critical_path_factor() >= 1.0);
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let (mut rt, mut task, images) = setup();
+        let mut host = PmbusAdapter::new();
+        host.set_vout(rt.board_mut(), 0x13, 0.545).unwrap();
+        let a = rt.run_batch(&mut task, &images, 9).unwrap();
+        let b = rt.run_batch(&mut task, &images, 9).unwrap();
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(a.injected_faults, b.injected_faults);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the DPU timing/compile stack.
+
+use proptest::prelude::*;
+use redvolt_dpu::compiler::compile;
+use redvolt_dpu::engine::timing;
+use redvolt_dpu::isa::DpuInstr;
+use redvolt_dpu::memory;
+use redvolt_nn::graph::{ConvParams, GraphBuilder};
+
+fn random_graph(seed: u64, ch: usize, k: usize) -> redvolt_nn::graph::Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(8, 8, 3);
+    let p = ConvParams {
+        in_ch: 3,
+        out_ch: ch,
+        k,
+        stride: 1,
+        pad: k / 2,
+        relu: true,
+    };
+    let w: Vec<f32> = (0..p.weight_count())
+        .map(|i| (((i as u64).wrapping_mul(seed | 1) % 97) as f32 / 97.0) - 0.5)
+        .collect();
+    let y = b.conv("c", x, p, w, vec![0.0; ch]);
+    let m = b.max_pool("p", y, 2, 2);
+    let n = b.shape(m).len();
+    let d = b.dense("fc", m, 5, false, vec![0.01; n * 5], vec![0.0; 5]);
+    let s = b.softmax("sm", d);
+    b.finish(s)
+}
+
+proptest! {
+    #[test]
+    fn kernel_macs_always_match_graph(seed in 1u64..500, ch in 2usize..12, k in 1usize..4) {
+        let g = random_graph(seed, ch, k);
+        let kern = compile("t", &g, 8).unwrap();
+        prop_assert_eq!(kern.total_macs(), g.mac_count());
+    }
+
+    #[test]
+    fn cycles_never_beat_peak_rate(seed in 1u64..200, ch in 2usize..12) {
+        let g = random_graph(seed, ch, 3);
+        let kern = compile("t", &g, 8).unwrap();
+        // Utilization can never exceed the array's peak MACs/cycle.
+        for instr in &kern.instrs {
+            if let DpuInstr::Conv { macs, cycles, .. } | DpuInstr::Fc { macs, cycles, .. } = instr
+            {
+                prop_assert!(*macs <= cycles * memory::PEAK_MACS_PER_CYCLE);
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_clock(seed in 1u64..100, ch in 2usize..10) {
+        let g = random_graph(seed, ch, 3);
+        let kern = compile("t", &g, 8).unwrap();
+        let mut prev = 0.0;
+        for f in [100.0, 150.0, 200.0, 250.0, 300.0, 333.0] {
+            let t = timing(&kern, f, 3);
+            prop_assert!(t.gops > prev);
+            prev = t.gops;
+        }
+    }
+
+    #[test]
+    fn gops_scaling_is_sublinear(seed in 1u64..100, ch in 2usize..10) {
+        // The roofline makes GOPs fall slower than the clock.
+        let g = random_graph(seed, ch, 3);
+        let kern = compile("t", &g, 8).unwrap();
+        let full = timing(&kern, 333.0, 3);
+        let half = timing(&kern, 166.5, 3);
+        prop_assert!(half.gops >= full.gops * 0.5 - 1e-9);
+        prop_assert!(half.gops <= full.gops + 1e-9);
+    }
+
+    #[test]
+    fn stall_fraction_is_a_fraction(seed in 1u64..100, ch in 2usize..10, f in 50.0f64..400.0) {
+        let g = random_graph(seed, ch, 3);
+        let kern = compile("t", &g, 8).unwrap();
+        let t = timing(&kern, f, 3);
+        prop_assert!((0.0..=1.0).contains(&t.stall_fraction));
+        prop_assert!((t.t_compute_s + t.t_memory_s - t.t_image_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrower_precision_never_increases_traffic(seed in 1u64..100, ch in 2usize..10) {
+        let g = random_graph(seed, ch, 3);
+        let k8 = compile("t", &g, 8).unwrap();
+        let k4 = compile("t", &g, 4).unwrap();
+        prop_assert!(k4.total_feature_bytes() <= k8.total_feature_bytes());
+        prop_assert!(k4.weight_bytes <= k8.weight_bytes);
+        prop_assert_eq!(k4.total_cycles(), k8.total_cycles());
+    }
+}

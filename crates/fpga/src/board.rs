@@ -1,0 +1,496 @@
+//! The ZCU102 board: rails, regulators, sensors, fan and crash behaviour.
+//!
+//! [`Zcu102Board`] is the single stateful object experiments interact with.
+//! Control and telemetry go over PMBus exactly as in the paper —
+//! [`Zcu102Board`] implements [`PmbusTarget`], routing rail addresses to
+//! its regulators and the system controller address to fan/temperature —
+//! while the DPU engine queries the timing surface directly (that path is
+//! physics, not bus traffic).
+//!
+//! Crash semantics follow §4.2: when the operating point leaves the
+//! responsive region (see [`TimingModel::responds`]) the board hangs — all
+//! on-chip-rail PMBus traffic fails with [`PmbusError::DeviceHung`] until
+//! [`Zcu102Board::power_cycle`], which also resets the rails to nominal.
+
+use crate::calib;
+use crate::power::{LoadProfile, PowerModel};
+use crate::rails::{OutputWindow, RailId};
+use crate::thermal::ThermalModel;
+use crate::timing::TimingModel;
+use crate::variation::BoardCorner;
+use redvolt_num::rng::Xoshiro256StarStar;
+use redvolt_pmbus::command::{status, Access, CommandCode};
+use redvolt_pmbus::device::PmbusTarget;
+use redvolt_pmbus::{linear, PmbusError};
+
+/// PMBus address of the system controller (fan command, board sensors).
+pub const SYSCTRL_ADDRESS: u8 = 0x52;
+
+/// LINEAR16 exponent used by the board's regulators (1/4096 V steps).
+const VOUT_MODE_EXP: i8 = -12;
+
+/// Relative 1-σ noise on power telemetry reads. Real current sensing
+/// jitters; the paper averages 10 repetitions and calls the variation
+/// negligible, which this magnitude reproduces.
+const TELEMETRY_NOISE_SIGMA: f64 = 0.003;
+
+/// A simulated ZCU102 board sample.
+#[derive(Debug, Clone)]
+pub struct Zcu102Board {
+    corner: BoardCorner,
+    timing: TimingModel,
+    power: PowerModel,
+    thermal: ThermalModel,
+    vccint_mv: f64,
+    vccbram_mv: f64,
+    load: LoadProfile,
+    crash_slack_ratio: f64,
+    crashed: bool,
+    telemetry_rng: Xoshiro256StarStar,
+    telemetry_noise: bool,
+}
+
+impl Zcu102Board {
+    /// Brings up board `sample` at nominal rails, full fan, idle load.
+    pub fn new(sample: u32) -> Self {
+        let corner = BoardCorner::for_sample(sample);
+        Zcu102Board {
+            corner,
+            timing: TimingModel::new(corner),
+            power: PowerModel::new(corner),
+            thermal: ThermalModel::new(),
+            vccint_mv: calib::VNOM_MV,
+            vccbram_mv: calib::VNOM_MV,
+            load: LoadProfile::idle(),
+            crash_slack_ratio: calib::CRASH_SLACK_RATIO,
+            crashed: false,
+            telemetry_rng: Xoshiro256StarStar::seed_from(0xB0A2D).substream(u64::from(sample)),
+            telemetry_noise: true,
+        }
+    }
+
+    /// Disables telemetry noise (exact reads), for deterministic tests.
+    pub fn with_exact_telemetry(mut self) -> Self {
+        self.telemetry_noise = false;
+        self
+    }
+
+    /// The board's process corner.
+    pub fn corner(&self) -> BoardCorner {
+        self.corner
+    }
+
+    /// The board's timing surface.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// The board's power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The thermal model (mutable access for chamber mode).
+    pub fn thermal_mut(&mut self) -> &mut ThermalModel {
+        &mut self.thermal
+    }
+
+    /// Current commanded `VCCINT` in mV.
+    pub fn vccint_mv(&self) -> f64 {
+        self.vccint_mv
+    }
+
+    /// Current commanded `VCCBRAM` in mV.
+    pub fn vccbram_mv(&self) -> f64 {
+        self.vccbram_mv
+    }
+
+    /// Current load profile.
+    pub fn load(&self) -> LoadProfile {
+        self.load
+    }
+
+    /// Whether the board has hung.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Workload-dependent crash margin (see [`TimingModel::responds`]).
+    pub fn set_crash_slack_ratio(&mut self, ratio: f64) {
+        self.crash_slack_ratio = ratio;
+        self.evaluate_crash();
+    }
+
+    /// Current crash margin.
+    pub fn crash_slack_ratio(&self) -> f64 {
+        self.crash_slack_ratio
+    }
+
+    /// Publishes the running workload to the board (done by the DPU
+    /// runtime); re-evaluates the crash condition at the new point.
+    pub fn set_load(&mut self, load: LoadProfile) {
+        self.load = load;
+        self.evaluate_crash();
+    }
+
+    /// Steady-state junction temperature at the present operating point.
+    pub fn junction_c(&self) -> f64 {
+        self.thermal
+            .junction_c(&self.power, self.vccint_mv, self.vccbram_mv, &self.load)
+    }
+
+    /// Exact (noise-free) on-chip power at the present operating point.
+    pub fn on_chip_power_w(&self) -> f64 {
+        let t = self.junction_c();
+        self.power
+            .on_chip_w(self.vccint_mv, self.vccbram_mv, t, &self.load)
+    }
+
+    /// Slack deficit of the present operating point (input to fault
+    /// rates), including the workload's critical-path factor.
+    pub fn slack_deficit(&self) -> f64 {
+        self.timing.slack_deficit(
+            self.vccint_mv,
+            self.load.f_mhz * self.load.critical_path_factor,
+            self.junction_c(),
+        )
+    }
+
+    /// Power-cycles the board: rails to nominal, crash latch cleared,
+    /// load idle. The fan setting survives (it is external to the FPGA).
+    pub fn power_cycle(&mut self) {
+        self.vccint_mv = calib::VNOM_MV;
+        self.vccbram_mv = calib::VNOM_MV;
+        self.load = LoadProfile::idle();
+        self.crash_slack_ratio = calib::CRASH_SLACK_RATIO;
+        self.crashed = false;
+    }
+
+    fn evaluate_crash(&mut self) {
+        if self.crashed {
+            return;
+        }
+        // BRAM retention collapse hangs the design regardless of activity
+        // (stored state and configuration data are lost).
+        if self.vccbram_mv < calib::BRAM_VCRASH_MV {
+            self.crashed = true;
+            return;
+        }
+        // An idle design (no retiring ops) does not exercise datapaths hard
+        // enough to hang at the voltages the study sweeps; the paper's
+        // crashes happen while inference is running.
+        if self.load.ops_rate_norm <= 0.0 {
+            return;
+        }
+        let t = self.junction_c();
+        let f_eff = self.load.f_mhz * self.load.critical_path_factor;
+        if !self
+            .timing
+            .responds(self.vccint_mv, f_eff, t, self.crash_slack_ratio)
+        {
+            self.crashed = true;
+        }
+    }
+
+    fn noise(&mut self) -> f64 {
+        if self.telemetry_noise {
+            1.0 + self.telemetry_rng.next_gaussian(0.0, TELEMETRY_NOISE_SIGMA)
+        } else {
+            1.0
+        }
+    }
+
+    fn rail_mv(&self, rail: RailId) -> f64 {
+        match rail {
+            RailId::Vccint => self.vccint_mv,
+            RailId::Vccbram => self.vccbram_mv,
+            other => other.nominal_v() * 1000.0,
+        }
+    }
+
+    fn rail_power_w(&mut self, rail: RailId) -> f64 {
+        let t = self.junction_c();
+        let noise = self.noise();
+        let exact = match rail {
+            RailId::Vccint => self.power.vccint_w(self.vccint_mv, t, &self.load),
+            RailId::Vccbram => self.power.vccbram_w(self.vccbram_mv),
+            other => self.power.fixed_rail_w(other),
+        };
+        exact * noise
+    }
+
+    fn set_rail_mv(&mut self, rail: RailId, mv: f64) -> Result<(), PmbusError> {
+        if !rail.is_regulable() {
+            return Err(PmbusError::Rejected {
+                reason: format!("{} is locked at nominal in this study", rail.name()),
+            });
+        }
+        let window = OutputWindow::for_rail(rail);
+        if !window.contains(mv / 1000.0) {
+            return Err(PmbusError::Rejected {
+                reason: format!(
+                    "{:.0} mV outside {}..{} mV output window",
+                    mv,
+                    window.min_v * 1000.0,
+                    window.max_v * 1000.0
+                ),
+            });
+        }
+        match rail {
+            RailId::Vccint => self.vccint_mv = mv,
+            RailId::Vccbram => self.vccbram_mv = mv,
+            _ => unreachable!("only PL rails are regulable"),
+        }
+        self.evaluate_crash();
+        Ok(())
+    }
+}
+
+impl PmbusTarget for Zcu102Board {
+    fn write_word(
+        &mut self,
+        address: u8,
+        command: CommandCode,
+        word: u16,
+    ) -> Result<(), PmbusError> {
+        if address == SYSCTRL_ADDRESS {
+            // The system controller is on the PS side and stays reachable
+            // even when the PL has hung (the paper power-cycles via it).
+            return match command {
+                CommandCode::FanCommand1 => {
+                    let duty = linear::linear11_decode(word);
+                    if !(0.0..=100.0).contains(&duty) {
+                        return Err(PmbusError::Rejected {
+                            reason: format!("fan duty {duty}% out of range"),
+                        });
+                    }
+                    self.thermal.set_fan_duty(duty);
+                    Ok(())
+                }
+                CommandCode::Page | CommandCode::Operation | CommandCode::FanConfig12 => Ok(()),
+                _ => Err(PmbusError::UnsupportedCommand {
+                    address,
+                    command: command.raw(),
+                }),
+            };
+        }
+        let Some(rail) = RailId::from_pmbus_address(address) else {
+            return Err(PmbusError::NoDevice { address });
+        };
+        if self.crashed && rail.is_on_chip_pl() {
+            return Err(PmbusError::DeviceHung { address });
+        }
+        if command.access() == Access::ReadOnly {
+            return Err(PmbusError::UnsupportedCommand {
+                address,
+                command: command.raw(),
+            });
+        }
+        match command {
+            CommandCode::VoutCommand => {
+                let v = linear::linear16_decode(word, VOUT_MODE_EXP);
+                self.set_rail_mv(rail, v * 1000.0)
+            }
+            CommandCode::Page | CommandCode::Operation => Ok(()),
+            _ => Err(PmbusError::UnsupportedCommand {
+                address,
+                command: command.raw(),
+            }),
+        }
+    }
+
+    fn read_word(&mut self, address: u8, command: CommandCode) -> Result<u16, PmbusError> {
+        if address == SYSCTRL_ADDRESS {
+            return match command {
+                CommandCode::ReadTemperature1 => linear::linear11_encode(self.junction_c()),
+                CommandCode::ReadFanSpeed1 => linear::linear11_encode(self.thermal.fan_duty()),
+                CommandCode::StatusByte => {
+                    Ok(u16::from(if self.crashed { status::CML } else { 0 }))
+                }
+                _ => Err(PmbusError::UnsupportedCommand {
+                    address,
+                    command: command.raw(),
+                }),
+            };
+        }
+        let Some(rail) = RailId::from_pmbus_address(address) else {
+            return Err(PmbusError::NoDevice { address });
+        };
+        if self.crashed && rail.is_on_chip_pl() {
+            return Err(PmbusError::DeviceHung { address });
+        }
+        match command {
+            CommandCode::VoutMode => {
+                Ok(u16::from(linear::vout_mode_from_exponent(VOUT_MODE_EXP)))
+            }
+            CommandCode::VoutCommand | CommandCode::ReadVout => {
+                linear::linear16_encode(self.rail_mv(rail) / 1000.0, VOUT_MODE_EXP)
+            }
+            CommandCode::ReadPout => linear::linear11_encode(self.rail_power_w(rail)),
+            CommandCode::ReadIout => {
+                let v = self.rail_mv(rail) / 1000.0;
+                let p = self.rail_power_w(rail);
+                linear::linear11_encode(if v > 0.0 { p / v } else { 0.0 })
+            }
+            CommandCode::ReadTemperature1 => linear::linear11_encode(self.junction_c()),
+            CommandCode::StatusByte => Ok(0),
+            _ => Err(PmbusError::UnsupportedCommand {
+                address,
+                command: command.raw(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redvolt_pmbus::adapter::PmbusAdapter;
+
+    fn board() -> Zcu102Board {
+        Zcu102Board::new(0).with_exact_telemetry()
+    }
+
+    #[test]
+    fn nominal_bringup_reads_paper_power() {
+        let mut b = board();
+        b.set_load(LoadProfile::nominal());
+        let mut host = PmbusAdapter::new();
+        let p_int = host.read_pout(&mut b, 0x13).unwrap();
+        let p_bram = host.read_pout(&mut b, 0x14).unwrap();
+        assert!((p_int + p_bram - 12.59).abs() < 0.05, "{p_int} + {p_bram}");
+        assert!(p_bram / (p_int + p_bram) < 0.001);
+    }
+
+    #[test]
+    fn undervolt_via_pmbus_reduces_power() {
+        let mut b = board();
+        b.set_load(LoadProfile::nominal());
+        let mut host = PmbusAdapter::new();
+        let before = host.read_pout(&mut b, 0x13).unwrap();
+        host.set_vout(&mut b, 0x13, 0.570).unwrap();
+        let after = host.read_pout(&mut b, 0x13).unwrap();
+        assert!((before / after - 2.6).abs() < 0.1, "{before}/{after}");
+    }
+
+    #[test]
+    fn guardband_region_has_no_slack_deficit() {
+        let mut b = board();
+        b.set_load(LoadProfile::nominal());
+        let mut host = PmbusAdapter::new();
+        host.set_vout(&mut b, 0x13, 0.575).unwrap();
+        assert_eq!(b.slack_deficit(), 0.0);
+        assert!(!b.is_crashed());
+    }
+
+    #[test]
+    fn board_hangs_below_vcrash_and_recovers_on_power_cycle() {
+        let mut b = board();
+        b.set_load(LoadProfile::nominal());
+        let mut host = PmbusAdapter::new();
+        host.set_vout(&mut b, 0x13, 0.535).unwrap_or(()); // may hang mid-write
+        assert!(b.is_crashed());
+        assert!(matches!(
+            host.read_pout(&mut b, 0x13),
+            Err(PmbusError::DeviceHung { .. })
+        ));
+        // System controller still answers (PS side).
+        assert!(host.read_temperature(&mut b, SYSCTRL_ADDRESS).is_ok());
+        b.power_cycle();
+        assert!(!b.is_crashed());
+        assert!((b.vccint_mv() - 850.0).abs() < 1e-9);
+        assert!(host.read_pout(&mut b, 0x13).is_ok());
+    }
+
+    #[test]
+    fn idle_board_does_not_crash_at_low_voltage() {
+        let mut b = board();
+        let mut host = PmbusAdapter::new();
+        host.set_vout(&mut b, 0x13, 0.545).unwrap();
+        assert!(!b.is_crashed(), "idle design must not hang");
+        // Starting inference at that voltage is fine too (540 responds).
+        b.set_load(LoadProfile::nominal());
+        assert!(!b.is_crashed());
+    }
+
+    #[test]
+    fn out_of_window_voltage_rejected() {
+        let mut b = board();
+        let mut host = PmbusAdapter::new();
+        assert!(matches!(
+            host.set_vout(&mut b, 0x13, 1.2),
+            Err(PmbusError::Rejected { .. })
+        ));
+        assert!(matches!(
+            host.set_vout(&mut b, 0x13, 0.2),
+            Err(PmbusError::Rejected { .. })
+        ));
+    }
+
+    #[test]
+    fn locked_rails_reject_writes() {
+        let mut b = board();
+        let mut host = PmbusAdapter::new();
+        assert!(matches!(
+            host.set_vout(&mut b, 0x17, 3.0),
+            Err(PmbusError::Rejected { .. })
+        ));
+    }
+
+    #[test]
+    fn fan_command_changes_temperature() {
+        let mut b = board();
+        b.set_load(LoadProfile::nominal());
+        let mut host = PmbusAdapter::new();
+        host.set_fan_percent(&mut b, SYSCTRL_ADDRESS, 100.0).unwrap();
+        let cool = host.read_temperature(&mut b, SYSCTRL_ADDRESS).unwrap();
+        host.set_fan_percent(&mut b, SYSCTRL_ADDRESS, 0.0).unwrap();
+        let hot = host.read_temperature(&mut b, SYSCTRL_ADDRESS).unwrap();
+        assert!(hot > cool + 10.0, "{hot} vs {cool}");
+    }
+
+    #[test]
+    fn telemetry_noise_is_small_and_seeded() {
+        let mut a = Zcu102Board::new(0);
+        let mut b = Zcu102Board::new(0);
+        a.set_load(LoadProfile::nominal());
+        b.set_load(LoadProfile::nominal());
+        let mut host = PmbusAdapter::new();
+        let pa = host.read_pout(&mut a, 0x13).unwrap();
+        let pb = host.read_pout(&mut b, 0x13).unwrap();
+        assert_eq!(pa, pb, "same board sample, same seed, same read");
+        let exact = a.on_chip_power_w();
+        assert!((pa - exact).abs() / exact < 0.02);
+    }
+
+    #[test]
+    fn different_samples_have_different_physics() {
+        let mut b1 = Zcu102Board::new(1).with_exact_telemetry();
+        let mut b2 = Zcu102Board::new(2).with_exact_telemetry();
+        b1.set_load(LoadProfile::nominal());
+        b2.set_load(LoadProfile::nominal());
+        let f1 = b1.timing().fmax_true_mhz(560.0, 34.0);
+        let f2 = b2.timing().fmax_true_mhz(560.0, 34.0);
+        assert!((f1 - f2).abs() > 5.0, "{f1} vs {f2}");
+    }
+
+    #[test]
+    fn unknown_address_is_no_device() {
+        let mut b = board();
+        assert!(matches!(
+            b.read_word(0x33, CommandCode::ReadPout),
+            Err(PmbusError::NoDevice { .. })
+        ));
+    }
+
+    #[test]
+    fn higher_crash_margin_hangs_earlier() {
+        // Fig. 8: the pruned design's Vcrash is 555 mV vs the dense 540 mV.
+        let mut b = board();
+        b.set_crash_slack_ratio(0.80);
+        b.set_load(LoadProfile::nominal());
+        let mut host = PmbusAdapter::new();
+        let _ = host.set_vout(&mut b, 0x13, 0.552);
+        assert!(b.is_crashed(), "fragile workload should hang above 540 mV");
+    }
+}

@@ -1,0 +1,321 @@
+//! Calibrated rail power model.
+//!
+//! On-chip power on the ZCU102 is dominated by `VCCINT` (> 99.9 %, §4.1 —
+//! UltraScale+ BRAMs are dynamically power-gated, so `VCCBRAM` draws almost
+//! nothing). The `VCCINT` model is a sum of
+//!
+//! * **activity switching** — proportional to achieved operations per
+//!   second (MAC arrays, operand movement), scaled by the per-operation
+//!   energy factor of the operand precision;
+//! * **DPU clock tree** — proportional to the DPU clock;
+//! * **fixed-clock logic** — DDR controller, interconnect, PS↔PL bridges;
+//! * **leakage** — exponential in temperature, steeply falling in voltage.
+//!
+//! All dynamic components share the measured voltage-scaling curve
+//! [`crate::calib::DYN_SCALE_ANCHORS_MV_FRAC`] (real silicon drops faster
+//! than the textbook V² because short-circuit and glitch power shrink as
+//! edges slow); leakage uses [`crate::calib::LEAK_ANCHORS_MV_W`]. Both are
+//! anchored to the paper's Fig. 5 / Table 2 / Fig. 9 numbers.
+
+use crate::calib;
+use crate::rails::RailId;
+use crate::variation::BoardCorner;
+use redvolt_num::pchip::Pchip;
+
+/// What the mapped design is currently doing, as seen by the power model.
+///
+/// The DPU runtime publishes this to the board so that telemetry reads
+/// reflect the running workload, the way current sensors on the real board
+/// see the live load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadProfile {
+    /// DPU fabric clock in MHz.
+    pub f_mhz: f64,
+    /// Achieved operations per second, normalized to the nominal operating
+    /// point (1.0 = the benchmark's throughput at 333 MHz). Zero when idle.
+    pub ops_rate_norm: f64,
+    /// Per-operation energy factor of the operand precision
+    /// (`(bits/8)^QUANT_ENERGY_EXP`; 1.0 for INT8).
+    pub energy_per_op_factor: f64,
+    /// Workload critical-path factor: how much harder this workload's
+    /// instruction mix drives the binding paths relative to the reference
+    /// design (1.0). FC-heavy kernels exercise the long DSP cascades
+    /// slightly harder, which is the paper's "slight workload-to-workload
+    /// variation" of the voltage regions (Fig. 3).
+    pub critical_path_factor: f64,
+}
+
+impl LoadProfile {
+    /// The baseline profile: INT8 at the nominal clock, full throughput.
+    pub fn nominal() -> Self {
+        LoadProfile {
+            f_mhz: calib::F_NOM_MHZ,
+            ops_rate_norm: 1.0,
+            energy_per_op_factor: 1.0,
+            critical_path_factor: 1.0,
+        }
+    }
+
+    /// An idle design: clocks toggling, no operations retiring.
+    pub fn idle() -> Self {
+        LoadProfile {
+            f_mhz: calib::F_NOM_MHZ,
+            ops_rate_norm: 0.0,
+            energy_per_op_factor: 1.0,
+            critical_path_factor: 1.0,
+        }
+    }
+
+    /// Per-operation energy factor for an INT-`bits` datapath.
+    pub fn energy_factor_for_bits(bits: u32) -> f64 {
+        (f64::from(bits) / 8.0).powf(calib::QUANT_ENERGY_EXP)
+    }
+}
+
+/// Power model of one board sample.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    dyn_scale: Pchip,
+    leak_w: Pchip,
+    corner: BoardCorner,
+    /// Total dynamic power at the nominal point, watts.
+    p_dyn_nom_w: f64,
+}
+
+impl PowerModel {
+    /// Builds the power model for a board corner.
+    pub fn new(corner: BoardCorner) -> Self {
+        let (xs, ys): (Vec<f64>, Vec<f64>) =
+            calib::DYN_SCALE_ANCHORS_MV_FRAC.iter().copied().unzip();
+        let dyn_scale = Pchip::new(&xs, &ys).expect("calibration anchors are valid knots");
+        let (lx, ly): (Vec<f64>, Vec<f64>) = calib::LEAK_ANCHORS_MV_W.iter().copied().unzip();
+        let leak_w = Pchip::new(&lx, &ly).expect("calibration anchors are valid knots");
+        let p_vccint_nom = calib::P_ONCHIP_NOM_W * (1.0 - calib::P_BRAM_SHARE);
+        let leak_nom = leak_w.eval(calib::VNOM_MV);
+        PowerModel {
+            dyn_scale,
+            leak_w,
+            corner,
+            p_dyn_nom_w: p_vccint_nom - leak_nom,
+        }
+    }
+
+    /// Leakage power on `VCCINT` (watts) at the given voltage (mV) and
+    /// junction temperature (°C), including the board's leakage corner.
+    pub fn leakage_w(&self, vccint_mv: f64, temp_c: f64) -> f64 {
+        let base = self.leak_w.eval(vccint_mv).max(0.0);
+        let theta = (calib::LEAK_TEMP_PER_C * (temp_c - calib::T_REF_C)).exp();
+        base * theta * self.corner.leakage_factor
+    }
+
+    /// Dynamic power on `VCCINT` (watts) for the given load.
+    pub fn dynamic_w(&self, vccint_mv: f64, load: &LoadProfile) -> f64 {
+        let scale = self.dyn_scale.eval(vccint_mv).max(0.0);
+        let w = calib::DYN_SHARE_ACTIVITY * load.ops_rate_norm * load.energy_per_op_factor
+            + calib::DYN_SHARE_CLOCK * (load.f_mhz / calib::F_NOM_MHZ)
+            + calib::DYN_SHARE_FIXED;
+        self.p_dyn_nom_w * w * scale
+    }
+
+    /// Total `VCCINT` power in watts.
+    pub fn vccint_w(&self, vccint_mv: f64, temp_c: f64, load: &LoadProfile) -> f64 {
+        self.dynamic_w(vccint_mv, load) + self.leakage_w(vccint_mv, temp_c)
+    }
+
+    /// `VCCBRAM` power in watts (power-gated BRAMs; CV² of a tiny load).
+    pub fn vccbram_w(&self, vccbram_mv: f64) -> f64 {
+        let v = vccbram_mv / calib::VNOM_MV;
+        calib::P_ONCHIP_NOM_W * calib::P_BRAM_SHARE * v * v
+    }
+
+    /// Total on-chip (PL rails) power in watts — the quantity the paper
+    /// reports as 12.59 W at the nominal point.
+    pub fn on_chip_w(&self, vccint_mv: f64, vccbram_mv: f64, temp_c: f64, load: &LoadProfile) -> f64 {
+        self.vccint_w(vccint_mv, temp_c, load) + self.vccbram_w(vccbram_mv)
+    }
+
+    /// Telemetry power of an off-focus rail (fixed board-level load).
+    pub fn fixed_rail_w(&self, rail: RailId) -> f64 {
+        rail.fixed_load_w()
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::new(BoardCorner::typical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::{P_ONCHIP_NOM_W, T_REF_C, VNOM_MV};
+
+    fn model() -> PowerModel {
+        PowerModel::default()
+    }
+
+    #[test]
+    fn nominal_on_chip_power_matches_paper() {
+        let p = model().on_chip_w(VNOM_MV, VNOM_MV, T_REF_C, &LoadProfile::nominal());
+        assert!((p - P_ONCHIP_NOM_W).abs() < 0.02, "P = {p}");
+    }
+
+    #[test]
+    fn vccint_dominates_on_chip_power() {
+        let m = model();
+        let int = m.vccint_w(VNOM_MV, T_REF_C, &LoadProfile::nominal());
+        let total = m.on_chip_w(VNOM_MV, VNOM_MV, T_REF_C, &LoadProfile::nominal());
+        assert!(int / total > 0.999, "VCCINT share = {}", int / total);
+    }
+
+    #[test]
+    fn guardband_elimination_gives_2_6x() {
+        // Fig. 5: power-efficiency ×2.6 at Vmin at unchanged throughput.
+        let m = model();
+        let nom = m.vccint_w(VNOM_MV, T_REF_C, &LoadProfile::nominal());
+        let vmin = m.vccint_w(570.0, T_REF_C, &LoadProfile::nominal());
+        let gain = nom / vmin;
+        assert!((gain - 2.6).abs() < 0.05, "gain = {gain}");
+    }
+
+    #[test]
+    fn vcrash_gain_exceeds_3x() {
+        // Fig. 5: > 3× at Vcrash = 540 mV (full clock).
+        let m = model();
+        let nom = m.vccint_w(VNOM_MV, T_REF_C, &LoadProfile::nominal());
+        let crash = m.vccint_w(540.0, T_REF_C, &LoadProfile::nominal());
+        let gain = nom / crash;
+        assert!(gain > 3.0 && gain < 4.2, "gain = {gain}");
+    }
+
+    #[test]
+    fn table2_last_row_power_norm() {
+        // (540 mV, 200 MHz, GOPs 0.70) should draw ≈0.56 of the Vmin power.
+        let m = model();
+        let base = m.vccint_w(570.0, T_REF_C, &LoadProfile::nominal());
+        let row = m.vccint_w(
+            540.0,
+            T_REF_C,
+            &LoadProfile {
+                f_mhz: 200.0,
+                ops_rate_norm: 0.70,
+                energy_per_op_factor: 1.0,
+                critical_path_factor: 1.0,
+            },
+        );
+        let norm = row / base;
+        assert!((norm - 0.56).abs() < 0.02, "norm = {norm}");
+    }
+
+    #[test]
+    fn power_is_monotone_in_voltage() {
+        let m = model();
+        let load = LoadProfile::nominal();
+        let mut prev = m.vccint_w(530.0, T_REF_C, &load);
+        let mut v = 535.0;
+        while v <= 850.0 {
+            let p = m.vccint_w(v, T_REF_C, &load);
+            assert!(p > prev, "power must rise with voltage at {v}");
+            prev = p;
+            v += 5.0;
+        }
+    }
+
+    #[test]
+    fn temperature_sensitivity_shrinks_at_low_voltage() {
+        // §7.1: +0.46% power over 34→52 °C at 850 mV, +0.15% at 650 mV.
+        let m = model();
+        let load = LoadProfile::nominal();
+        let rel = |v: f64| {
+            let cold = m.vccint_w(v, 34.0, &load);
+            let hot = m.vccint_w(v, 52.0, &load);
+            (hot - cold) / cold
+        };
+        let at850 = rel(850.0);
+        let at650 = rel(650.0);
+        assert!((at850 - 0.0046).abs() < 0.001, "at850 = {at850}");
+        assert!((at650 - 0.0015).abs() < 0.001, "at650 = {at650}");
+        assert!(at650 < at850);
+    }
+
+    #[test]
+    fn idle_draws_less_than_active() {
+        let m = model();
+        let idle = m.vccint_w(VNOM_MV, T_REF_C, &LoadProfile::idle());
+        let active = m.vccint_w(VNOM_MV, T_REF_C, &LoadProfile::nominal());
+        assert!(idle < active);
+        // Fixed + clock share remains: idle is not zero.
+        assert!(idle > 0.3 * active);
+    }
+
+    #[test]
+    fn lower_precision_draws_less_activity_power() {
+        let m = model();
+        let int8 = LoadProfile::nominal();
+        let int4 = LoadProfile {
+            energy_per_op_factor: LoadProfile::energy_factor_for_bits(4),
+            ..LoadProfile::nominal()
+        };
+        assert!(m.vccint_w(VNOM_MV, T_REF_C, &int4) < m.vccint_w(VNOM_MV, T_REF_C, &int8));
+    }
+
+    #[test]
+    fn leaky_corner_draws_more() {
+        let slow = PowerModel::new(BoardCorner::for_sample(2));
+        let fast = PowerModel::new(BoardCorner::for_sample(1));
+        assert!(
+            slow.leakage_w(VNOM_MV, T_REF_C) > fast.leakage_w(VNOM_MV, T_REF_C),
+            "leakage corners should order the boards"
+        );
+    }
+
+    #[test]
+    fn energy_factor_ordering() {
+        let e8 = LoadProfile::energy_factor_for_bits(8);
+        let e4 = LoadProfile::energy_factor_for_bits(4);
+        assert_eq!(e8, 1.0);
+        assert!(e4 < e8 && e4 > 0.3);
+    }
+
+    #[test]
+    fn bram_rail_scales_quadratically() {
+        let m = model();
+        let full = m.vccbram_w(850.0);
+        let half = m.vccbram_w(425.0);
+        assert!((half - full / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_mid_rows_power_norm_shape() {
+        // Normalized power at the Table-2 operating points must decrease
+        // monotonically down the table and stay near the paper's column.
+        let m = model();
+        let base = m.vccint_w(570.0, T_REF_C, &LoadProfile::nominal());
+        let rows = [
+            (565.0, 300.0, 0.94),
+            (560.0, 250.0, 0.83),
+            (555.0, 250.0, 0.83),
+            (550.0, 250.0, 0.83),
+            (545.0, 250.0, 0.83),
+            (540.0, 200.0, 0.70),
+        ];
+        let paper = [0.97, 0.84, 0.78, 0.75, 0.74, 0.56];
+        let mut prev = 1.0;
+        for ((v, f, g), want) in rows.iter().zip(paper) {
+            let p = m.vccint_w(
+                *v,
+                T_REF_C,
+                &LoadProfile {
+                    f_mhz: *f,
+                    ops_rate_norm: *g,
+                    energy_per_op_factor: 1.0,
+                    critical_path_factor: 1.0,
+                },
+            ) / base;
+            assert!(p < prev + 1e-9, "power norm must not increase: {p} at {v}");
+            assert!((p - want).abs() < 0.06, "norm {p:.3} vs paper {want} at {v} mV");
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The ZCU102 voltage-rail tree.
+//!
+//! Three on-board regulators expose 26 PMBus-addressable rails (§3.3.2,
+//! Fig. 2). The study regulates and measures the two on-chip PL rails —
+//! `VCCINT` (0x13) and `VCCBRAM` (0x14) — and leaves the rest at their
+//! defaults; we model those two in full physical detail and the remaining
+//! rails as fixed loads with telemetry.
+
+/// A PMBus-addressable voltage rail of the ZCU102.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RailId {
+    /// PL internal logic supply: DSPs, LUTs, buffers, routing. The focus of
+    /// the study — it carries > 99.9 % of on-chip power.
+    Vccint,
+    /// PL Block RAM supply.
+    Vccbram,
+    /// PL auxiliary supply (clock managers, configuration logic).
+    Vccaux,
+    /// 3.3 V I/O bank supply.
+    Vcc3v3,
+    /// PS full-power domain supply (quad-core Cortex-A53 host).
+    VccPsintFp,
+    /// PS low-power domain supply.
+    VccPsintLp,
+    /// DDR4 memory supply.
+    VccoPsddr,
+}
+
+impl RailId {
+    /// All modelled rails.
+    pub const ALL: [RailId; 7] = [
+        RailId::Vccint,
+        RailId::Vccbram,
+        RailId::Vccaux,
+        RailId::Vcc3v3,
+        RailId::VccPsintFp,
+        RailId::VccPsintLp,
+        RailId::VccoPsddr,
+    ];
+
+    /// The PMBus address of the regulator output for this rail (§3.3.2).
+    pub fn pmbus_address(self) -> u8 {
+        match self {
+            RailId::Vccint => 0x13,
+            RailId::Vccbram => 0x14,
+            RailId::Vccaux => 0x15,
+            RailId::Vcc3v3 => 0x17,
+            RailId::VccPsintFp => 0x18,
+            RailId::VccPsintLp => 0x19,
+            RailId::VccoPsddr => 0x1A,
+        }
+    }
+
+    /// Looks up a rail by PMBus address.
+    pub fn from_pmbus_address(address: u8) -> Option<RailId> {
+        RailId::ALL
+            .iter()
+            .copied()
+            .find(|r| r.pmbus_address() == address)
+    }
+
+    /// Factory-default (nominal) voltage in volts. The 16 nm UltraScale+
+    /// PL rails are 0.85 V (§2.2).
+    pub fn nominal_v(self) -> f64 {
+        match self {
+            RailId::Vccint | RailId::Vccbram => 0.85,
+            RailId::Vccaux => 1.8,
+            RailId::Vcc3v3 => 3.3,
+            RailId::VccPsintFp | RailId::VccPsintLp => 0.85,
+            RailId::VccoPsddr => 1.2,
+        }
+    }
+
+    /// Whether the rail supplies on-chip PL logic (the undervolting
+    /// targets of the study).
+    pub fn is_on_chip_pl(self) -> bool {
+        matches!(self, RailId::Vccint | RailId::Vccbram)
+    }
+
+    /// Whether the study allows regulating this rail. Off-focus rails are
+    /// locked at nominal (writing them would risk the host/DDR, which the
+    /// paper never does).
+    pub fn is_regulable(self) -> bool {
+        self.is_on_chip_pl()
+    }
+
+    /// Fixed telemetry power draw for off-focus rails at their defaults,
+    /// in watts. These are board-level loads (PS cluster, DDR4, I/O) that
+    /// exist on the platform but are excluded from the paper's "on-chip
+    /// power" number.
+    pub fn fixed_load_w(self) -> f64 {
+        match self {
+            RailId::Vccint | RailId::Vccbram => 0.0, // modelled, not fixed
+            RailId::Vccaux => 0.9,
+            RailId::Vcc3v3 => 1.4,
+            RailId::VccPsintFp => 2.3,
+            RailId::VccPsintLp => 0.4,
+            RailId::VccoPsddr => 3.1,
+        }
+    }
+
+    /// Human-readable rail name as printed on the schematic.
+    pub fn name(self) -> &'static str {
+        match self {
+            RailId::Vccint => "VCCINT",
+            RailId::Vccbram => "VCCBRAM",
+            RailId::Vccaux => "VCCAUX",
+            RailId::Vcc3v3 => "VCC3V3",
+            RailId::VccPsintFp => "VCC_PSINTFP",
+            RailId::VccPsintLp => "VCC_PSINTLP",
+            RailId::VccoPsddr => "VCCO_PSDDR",
+        }
+    }
+}
+
+/// Regulator output window for a rail: commanded voltages outside this
+/// range are rejected by the device, mirroring the MAX15301's configurable
+/// output range on the ZCU102.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutputWindow {
+    /// Lowest commandable voltage (V).
+    pub min_v: f64,
+    /// Highest commandable voltage (V).
+    pub max_v: f64,
+}
+
+impl OutputWindow {
+    /// The output window for a rail. On-chip PL rails accept the full
+    /// undervolting range used in the study (down to 0.4 V — the paper
+    /// sweeps to ≈0.54 V before the board hangs); fixed rails accept only
+    /// their nominal value.
+    pub fn for_rail(rail: RailId) -> Self {
+        if rail.is_regulable() {
+            OutputWindow {
+                min_v: 0.40,
+                max_v: 0.95,
+            }
+        } else {
+            OutputWindow {
+                min_v: rail.nominal_v(),
+                max_v: rail.nominal_v(),
+            }
+        }
+    }
+
+    /// Whether `v` is inside the window, with half a LINEAR16 step of
+    /// tolerance (commands arrive wire-quantized at 1/4096 V).
+    pub fn contains(&self, v: f64) -> bool {
+        const HALF_STEP: f64 = 0.5 / 4096.0;
+        v >= self.min_v - HALF_STEP && v <= self.max_v + HALF_STEP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_addresses_match() {
+        assert_eq!(RailId::Vccint.pmbus_address(), 0x13);
+        assert_eq!(RailId::Vccbram.pmbus_address(), 0x14);
+        assert_eq!(RailId::Vccaux.pmbus_address(), 0x15);
+        assert_eq!(RailId::Vcc3v3.pmbus_address(), 0x17);
+    }
+
+    #[test]
+    fn address_round_trip() {
+        for r in RailId::ALL {
+            assert_eq!(RailId::from_pmbus_address(r.pmbus_address()), Some(r));
+        }
+        assert_eq!(RailId::from_pmbus_address(0x77), None);
+    }
+
+    #[test]
+    fn pl_rails_are_850mv_and_regulable() {
+        for r in [RailId::Vccint, RailId::Vccbram] {
+            assert_eq!(r.nominal_v(), 0.85);
+            assert!(r.is_regulable());
+            assert!(r.is_on_chip_pl());
+        }
+    }
+
+    #[test]
+    fn off_focus_rails_locked_at_nominal() {
+        let w = OutputWindow::for_rail(RailId::Vcc3v3);
+        assert!(w.contains(3.3));
+        assert!(!w.contains(3.0));
+    }
+
+    #[test]
+    fn vccint_window_covers_study_sweep() {
+        let w = OutputWindow::for_rail(RailId::Vccint);
+        assert!(w.contains(0.85));
+        assert!(w.contains(0.570));
+        assert!(w.contains(0.540));
+        assert!(!w.contains(1.2));
+    }
+}

@@ -1,0 +1,187 @@
+//! Programmable-logic resource inventory and utilization tracking.
+//!
+//! Models the XCZU9EG device on the ZCU102: the paper's baseline design
+//! instantiates three B4096 DPU cores, each using 24.3 % of BRAMs and
+//! 25.6 % of DSPs, for a total utilization above 75 % on both.
+
+use std::fmt;
+
+/// Resource inventory of a programmable-logic device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceResources {
+    /// Look-up tables.
+    pub luts: u32,
+    /// Flip-flops.
+    pub flip_flops: u32,
+    /// DSP48 slices.
+    pub dsps: u32,
+    /// Block RAM capacity in kilobits.
+    pub bram_kbits: u32,
+    /// Number of 36 Kb BRAM blocks.
+    pub bram_blocks: u32,
+}
+
+impl DeviceResources {
+    /// The Zynq UltraScale+ XCZU9EG device populated on the ZCU102
+    /// (600 K LUTs, 2520 DSPs, 32.1 Mb BRAM; §3.3.1).
+    pub fn xczu9eg() -> Self {
+        DeviceResources {
+            luts: 600_000,
+            flip_flops: 548_160,
+            dsps: 2520,
+            bram_kbits: 32_100,
+            bram_blocks: 912,
+        }
+    }
+}
+
+/// Absolute resource demand of one mapped block (e.g. one DPU core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceDemand {
+    /// Look-up tables required.
+    pub luts: u32,
+    /// Flip-flops required.
+    pub flip_flops: u32,
+    /// DSP slices required.
+    pub dsps: u32,
+    /// BRAM kilobits required.
+    pub bram_kbits: u32,
+}
+
+impl ResourceDemand {
+    /// Demand of one B4096 DPU core: 24.3 % of the device's BRAMs and
+    /// 25.6 % of its DSPs (§3.1), with LUT/FF demand from the DPU product
+    /// guide's B4096 row (≈ 9 % LUTs).
+    pub fn dpu_b4096(device: &DeviceResources) -> Self {
+        ResourceDemand {
+            luts: (device.luts as f64 * 0.088) as u32,
+            flip_flops: (device.flip_flops as f64 * 0.18) as u32,
+            dsps: (device.dsps as f64 * 0.256) as u32,
+            bram_kbits: (device.bram_kbits as f64 * 0.243) as u32,
+        }
+    }
+
+    /// Component-wise sum of two demands.
+    pub fn plus(self, other: ResourceDemand) -> ResourceDemand {
+        ResourceDemand {
+            luts: self.luts + other.luts,
+            flip_flops: self.flip_flops + other.flip_flops,
+            dsps: self.dsps + other.dsps,
+            bram_kbits: self.bram_kbits + other.bram_kbits,
+        }
+    }
+}
+
+/// Utilization of a device by a set of placed blocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Fraction of LUTs in use (0..=1).
+    pub luts: f64,
+    /// Fraction of flip-flops in use.
+    pub flip_flops: f64,
+    /// Fraction of DSPs in use.
+    pub dsps: f64,
+    /// Fraction of BRAM capacity in use.
+    pub bram: f64,
+}
+
+impl Utilization {
+    /// Computes utilization of `demand` on `device`.
+    pub fn of(demand: ResourceDemand, device: &DeviceResources) -> Self {
+        Utilization {
+            luts: f64::from(demand.luts) / f64::from(device.luts),
+            flip_flops: f64::from(demand.flip_flops) / f64::from(device.flip_flops),
+            dsps: f64::from(demand.dsps) / f64::from(device.dsps),
+            bram: f64::from(demand.bram_kbits) / f64::from(device.bram_kbits),
+        }
+    }
+
+    /// Whether the demand fits the device (no category over 100 %).
+    pub fn fits(&self) -> bool {
+        self.luts <= 1.0 && self.flip_flops <= 1.0 && self.dsps <= 1.0 && self.bram <= 1.0
+    }
+
+    /// The most-utilized category's fraction.
+    pub fn peak(&self) -> f64 {
+        self.luts.max(self.flip_flops).max(self.dsps).max(self.bram)
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT {:.1}% FF {:.1}% DSP {:.1}% BRAM {:.1}%",
+            self.luts * 100.0,
+            self.flip_flops * 100.0,
+            self.dsps * 100.0,
+            self.bram * 100.0
+        )
+    }
+}
+
+/// How many blocks of `demand` fit on `device`.
+pub fn max_instances(demand: ResourceDemand, device: &DeviceResources) -> u32 {
+    let mut n = 0u32;
+    let mut total = ResourceDemand::default();
+    loop {
+        let next = total.plus(demand);
+        if !Utilization::of(next, device).fits() {
+            return n;
+        }
+        total = next;
+        n += 1;
+        if n > 1_000 {
+            return n; // degenerate zero-demand input
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xczu9eg_matches_paper_inventory() {
+        let d = DeviceResources::xczu9eg();
+        assert_eq!(d.luts, 600_000);
+        assert_eq!(d.dsps, 2520);
+        assert_eq!(d.bram_kbits, 32_100);
+    }
+
+    #[test]
+    fn one_b4096_uses_paper_fractions() {
+        let d = DeviceResources::xczu9eg();
+        let u = Utilization::of(ResourceDemand::dpu_b4096(&d), &d);
+        assert!((u.dsps - 0.256).abs() < 0.001, "{u}");
+        assert!((u.bram - 0.243).abs() < 0.001, "{u}");
+    }
+
+    #[test]
+    fn exactly_three_b4096_fit() {
+        // §3.1: "a maximum of three B4096 DPUs can be used".
+        let d = DeviceResources::xczu9eg();
+        assert_eq!(max_instances(ResourceDemand::dpu_b4096(&d), &d), 3);
+    }
+
+    #[test]
+    fn three_b4096_exceed_75_percent() {
+        let d = DeviceResources::xczu9eg();
+        let one = ResourceDemand::dpu_b4096(&d);
+        let three = one.plus(one).plus(one);
+        let u = Utilization::of(three, &d);
+        assert!(u.dsps > 0.75 && u.bram > 0.72, "{u}");
+        assert!(u.fits());
+    }
+
+    #[test]
+    fn peak_is_max_category() {
+        let u = Utilization {
+            luts: 0.1,
+            flip_flops: 0.2,
+            dsps: 0.9,
+            bram: 0.5,
+        };
+        assert_eq!(u.peak(), 0.9);
+    }
+}

@@ -1,0 +1,223 @@
+//! Critical-path timing model.
+//!
+//! Undervolting slows CMOS paths; once the binding critical path no longer
+//! fits in the clock period, timing faults appear (bit-flips in memories,
+//! logic violations in datapaths — §2.2), and far past that point the
+//! control plane itself fails and the board hangs (Vcrash). This module
+//! models the *true maximum clock* `Fmax(V, T)` of the mapped design as a
+//! calibrated multi-path surface (see [`crate::calib::FMAX_ANCHORS_MV_MHZ`])
+//! with per-board process variation and the inverse thermal dependence
+//! (ITD) of contemporary nodes: higher temperature → *lower* delay (§7.2).
+
+use crate::calib;
+use crate::variation::BoardCorner;
+use redvolt_num::pchip::Pchip;
+
+/// Timing surface of the mapped design on one board sample.
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    fmax_curve: Pchip,
+    corner: BoardCorner,
+}
+
+impl TimingModel {
+    /// Builds the timing model for a board corner.
+    pub fn new(corner: BoardCorner) -> Self {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = calib::FMAX_ANCHORS_MV_MHZ.iter().copied().unzip();
+        let fmax_curve = Pchip::new(&xs, &ys).expect("calibration anchors are valid knots");
+        TimingModel { fmax_curve, corner }
+    }
+
+    /// The board corner this model was built for.
+    pub fn corner(&self) -> BoardCorner {
+        self.corner
+    }
+
+    /// True maximum clock (MHz) of the binding critical path at the given
+    /// VCCINT voltage (mV) and junction temperature (°C).
+    ///
+    /// Applies the board's rigid voltage offset and delay factor, then the
+    /// ITD correction: delay shrinks by [`calib::ITD_PER_C`] per °C above
+    /// the reference temperature, so `Fmax` *rises* slightly with
+    /// temperature.
+    pub fn fmax_true_mhz(&self, vccint_mv: f64, temp_c: f64) -> f64 {
+        let v_eff = vccint_mv - self.corner.voltage_offset_mv;
+        let base = self.fmax_curve.eval(v_eff).max(0.0);
+        let itd = 1.0 - calib::ITD_PER_C * (temp_c - calib::T_REF_C);
+        // delay = corner.delay_factor * itd / base  =>  fmax = base/(df*itd)
+        let denom = (self.corner.delay_factor * itd).max(1e-6);
+        base / denom
+    }
+
+    /// Relative slack deficit of running at `f_mhz`: 0 when the clock fits
+    /// (`f ≤ Fmax`), otherwise `f/Fmax − 1`. The fault model in
+    /// `redvolt-faults` maps this deficit to per-operation fault rates.
+    pub fn slack_deficit(&self, vccint_mv: f64, f_mhz: f64, temp_c: f64) -> f64 {
+        let fmax = self.fmax_true_mhz(vccint_mv, temp_c);
+        if fmax <= 0.0 {
+            return f64::INFINITY;
+        }
+        (f_mhz / fmax - 1.0).max(0.0)
+    }
+
+    /// Whether the design still responds (has not hung) at this operating
+    /// point. `crash_slack_ratio` is workload-dependent (regular dataflow
+    /// designs tolerate more deficit than irregular ones; the paper's
+    /// pruned VGGNet hangs 15 mV earlier than the dense one — Fig. 8).
+    pub fn responds(&self, vccint_mv: f64, f_mhz: f64, temp_c: f64, crash_slack_ratio: f64) -> bool {
+        if f_mhz <= 0.0 {
+            return true;
+        }
+        self.fmax_true_mhz(vccint_mv, temp_c) / f_mhz >= crash_slack_ratio
+    }
+
+    /// Largest voltage (mV, within `lo..=hi` at `step_mv` granularity) at
+    /// which the design hangs, i.e. the measured `Vcrash` of a downward
+    /// scan — or `None` if it never hangs in the range.
+    pub fn crash_voltage_mv(
+        &self,
+        f_mhz: f64,
+        temp_c: f64,
+        crash_slack_ratio: f64,
+        lo_mv: f64,
+        hi_mv: f64,
+        step_mv: f64,
+    ) -> Option<f64> {
+        let mut v = hi_mv;
+        while v >= lo_mv - 1e-9 {
+            if !self.responds(v, f_mhz, temp_c, crash_slack_ratio) {
+                return Some(v);
+            }
+            v -= step_mv;
+        }
+        None
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel::new(BoardCorner::typical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::{CRASH_SLACK_RATIO, F_NOM_MHZ, T_REF_C};
+
+    fn reference() -> TimingModel {
+        TimingModel::default()
+    }
+
+    #[test]
+    fn fmax_hits_calibration_anchors() {
+        let t = reference();
+        for &(v, f) in &calib::FMAX_ANCHORS_MV_MHZ {
+            assert!(
+                (t.fmax_true_mhz(v, T_REF_C) - f).abs() < 1e-6,
+                "anchor ({v}, {f})"
+            );
+        }
+    }
+
+    #[test]
+    fn no_deficit_at_or_above_vmin() {
+        let t = reference();
+        let mut v = 570.0;
+        while v <= 850.0 {
+            assert_eq!(t.slack_deficit(v, F_NOM_MHZ, T_REF_C), 0.0, "at {v}");
+            v += 5.0;
+        }
+    }
+
+    #[test]
+    fn deficit_grows_monotonically_below_vmin() {
+        let t = reference();
+        let mut prev = t.slack_deficit(570.0, F_NOM_MHZ, T_REF_C);
+        let mut v = 565.0;
+        while v >= 530.0 {
+            let d = t.slack_deficit(v, F_NOM_MHZ, T_REF_C);
+            assert!(d > prev, "deficit should grow at {v}: {d} <= {prev}");
+            prev = d;
+            v -= 5.0;
+        }
+    }
+
+    #[test]
+    fn board0_crashes_just_below_540() {
+        let t = reference();
+        assert!(t.responds(540.0, F_NOM_MHZ, T_REF_C, CRASH_SLACK_RATIO));
+        assert!(!t.responds(535.0, F_NOM_MHZ, T_REF_C, CRASH_SLACK_RATIO));
+        let vcrash = t
+            .crash_voltage_mv(F_NOM_MHZ, T_REF_C, CRASH_SLACK_RATIO, 500.0, 850.0, 5.0)
+            .unwrap();
+        assert_eq!(vcrash, 535.0);
+    }
+
+    #[test]
+    fn lower_frequency_survives_lower_voltage() {
+        // Table 2's last row: (540 mV, 200 MHz) runs fault-free.
+        let t = reference();
+        assert_eq!(t.slack_deficit(540.0, 200.0, T_REF_C), 0.0);
+        assert!(t.responds(535.0, 200.0, T_REF_C, CRASH_SLACK_RATIO));
+    }
+
+    #[test]
+    fn itd_raises_fmax_with_temperature() {
+        let t = reference();
+        let cold = t.fmax_true_mhz(560.0, 34.0);
+        let hot = t.fmax_true_mhz(560.0, 52.0);
+        assert!(hot > cold, "ITD: {hot} should exceed {cold}");
+        // ... but only by ~1%, so Vmin is stable at 5 mV granularity (§7.3).
+        assert!(hot / cold < 1.02);
+    }
+
+    #[test]
+    fn board_corners_spread_vmin_by_about_31mv() {
+        // Measured Vmin = lowest 5 mV step with zero deficit at 333 MHz.
+        let vmin_of = |sample: u32| -> f64 {
+            let t = TimingModel::new(BoardCorner::for_sample(sample));
+            let mut v = 850.0;
+            while t.slack_deficit(v - 5.0, F_NOM_MHZ, T_REF_C) == 0.0 {
+                v -= 5.0;
+            }
+            v
+        };
+        let vmins: Vec<f64> = (0..3).map(vmin_of).collect();
+        let spread = vmins.iter().cloned().fold(f64::MIN, f64::max)
+            - vmins.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            (20.0..=45.0).contains(&spread),
+            "ΔVmin = {spread} (paper: 31 mV); vmins = {vmins:?}"
+        );
+        // Mean close to the paper's 570 mV.
+        let mean = vmins.iter().sum::<f64>() / 3.0;
+        assert!((mean - 570.0).abs() <= 10.0, "mean Vmin = {mean}");
+    }
+
+    #[test]
+    fn board_corners_spread_vcrash_less_than_vmin() {
+        let vcrash_of = |sample: u32| -> f64 {
+            TimingModel::new(BoardCorner::for_sample(sample))
+                .crash_voltage_mv(F_NOM_MHZ, T_REF_C, CRASH_SLACK_RATIO, 480.0, 850.0, 5.0)
+                .unwrap()
+                + 5.0 // last responding step
+        };
+        let vs: Vec<f64> = (0..3).map(vcrash_of).collect();
+        let spread =
+            vs.iter().cloned().fold(f64::MIN, f64::max) - vs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            (10.0..=30.0).contains(&spread),
+            "ΔVcrash = {spread} (paper: 18 mV); vcrash = {vs:?}"
+        );
+    }
+
+    #[test]
+    fn crash_voltage_none_when_always_responsive() {
+        let t = reference();
+        assert_eq!(
+            t.crash_voltage_mv(100.0, T_REF_C, CRASH_SLACK_RATIO, 540.0, 850.0, 5.0),
+            None
+        );
+    }
+}

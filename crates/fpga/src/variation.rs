@@ -1,0 +1,103 @@
+//! Per-board process variation.
+//!
+//! The paper repeats every experiment on three identical ZCU102 samples and
+//! observes a 31 mV spread in Vmin and an 18 mV spread in Vcrash, which it
+//! attributes to process variation. We model each board sample as a small
+//! perturbation of the reference timing/leakage surfaces: a rigid voltage
+//! offset plus a multiplicative delay factor (and a leakage factor for the
+//! power model). The first three samples use fixed fitted corners
+//! ([`crate::calib::BOARD_CORNERS`]); further samples draw corners from a
+//! seeded distribution of the same magnitude, so large fleets can be
+//! simulated.
+
+use crate::calib;
+use redvolt_num::rng::Xoshiro256StarStar;
+
+/// Process-variation corner of one board sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoardCorner {
+    /// Index of the physical sample (0, 1, 2 are the paper's boards).
+    pub sample: u32,
+    /// Rigid shift of the delay-vs-voltage curve, in mV: board delay at
+    /// `V` equals reference delay at `V - voltage_offset_mv`.
+    pub voltage_offset_mv: f64,
+    /// Multiplicative factor on all path delays (slow corner > 1).
+    pub delay_factor: f64,
+    /// Multiplicative factor on leakage power (fast corners leak more).
+    pub leakage_factor: f64,
+}
+
+impl BoardCorner {
+    /// Returns the corner for board `sample`.
+    ///
+    /// Samples 0–2 are the paper's three boards with fitted corners;
+    /// higher samples are drawn deterministically from the seeded
+    /// distribution (σ matching the fitted spread).
+    pub fn for_sample(sample: u32) -> Self {
+        if let Some(&(off, df, lf)) = calib::BOARD_CORNERS.get(sample as usize) {
+            return BoardCorner {
+                sample,
+                voltage_offset_mv: off,
+                delay_factor: df,
+                leakage_factor: lf,
+            };
+        }
+        let mut rng = Xoshiro256StarStar::seed_from(0x5A_C102).substream(u64::from(sample));
+        BoardCorner {
+            sample,
+            voltage_offset_mv: rng.next_gaussian(0.0, 6.0).clamp(-15.0, 15.0),
+            delay_factor: rng.next_gaussian(1.0, 0.025).clamp(0.93, 1.07),
+            leakage_factor: rng.next_gaussian(1.0, 0.05).clamp(0.85, 1.15),
+        }
+    }
+
+    /// The reference (typical) corner, used when variation is disabled.
+    pub fn typical() -> Self {
+        BoardCorner {
+            sample: 0,
+            voltage_offset_mv: 0.0,
+            delay_factor: 1.0,
+            leakage_factor: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_boards_use_fixed_corners() {
+        let b0 = BoardCorner::for_sample(0);
+        assert_eq!(b0.voltage_offset_mv, 0.0);
+        assert_eq!(b0.delay_factor, 1.0);
+        let b1 = BoardCorner::for_sample(1);
+        let b2 = BoardCorner::for_sample(2);
+        assert!(b1.voltage_offset_mv < 0.0 && b2.voltage_offset_mv > 0.0);
+        assert!(b1.delay_factor < 1.0 && b2.delay_factor > 1.0);
+    }
+
+    #[test]
+    fn extra_samples_are_deterministic() {
+        let a = BoardCorner::for_sample(7);
+        let b = BoardCorner::for_sample(7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extra_samples_differ_from_each_other() {
+        let a = BoardCorner::for_sample(3);
+        let b = BoardCorner::for_sample(4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn extra_samples_stay_in_plausible_corners() {
+        for s in 3..200 {
+            let c = BoardCorner::for_sample(s);
+            assert!(c.voltage_offset_mv.abs() <= 15.0, "{c:?}");
+            assert!((0.93..=1.07).contains(&c.delay_factor), "{c:?}");
+            assert!((0.85..=1.15).contains(&c.leakage_factor), "{c:?}");
+        }
+    }
+}

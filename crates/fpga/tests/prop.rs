@@ -1,0 +1,119 @@
+//! Property-based tests for the board physics models.
+
+use proptest::prelude::*;
+use redvolt_fpga::board::Zcu102Board;
+use redvolt_fpga::power::{LoadProfile, PowerModel};
+use redvolt_fpga::thermal::ThermalModel;
+use redvolt_fpga::timing::TimingModel;
+use redvolt_fpga::variation::BoardCorner;
+use redvolt_pmbus::adapter::PmbusAdapter;
+
+fn load_strategy() -> impl Strategy<Value = LoadProfile> {
+    (100.0f64..400.0, 0.0f64..1.2, 0.3f64..1.0).prop_map(|(f_mhz, ops, energy)| LoadProfile {
+        f_mhz,
+        ops_rate_norm: ops,
+        energy_per_op_factor: energy,
+        critical_path_factor: 1.0,
+    })
+}
+
+proptest! {
+    #[test]
+    fn power_is_monotone_in_voltage_for_any_load(load in load_strategy(), sample in 0u32..20) {
+        let pm = PowerModel::new(BoardCorner::for_sample(sample));
+        let mut prev = pm.vccint_w(530.0, 40.0, &load);
+        let mut mv = 540.0;
+        while mv <= 850.0 {
+            let p = pm.vccint_w(mv, 40.0, &load);
+            prop_assert!(p >= prev, "power fell at {mv} mV");
+            prev = p;
+            mv += 10.0;
+        }
+    }
+
+    #[test]
+    fn power_is_monotone_in_activity(mv in 540.0f64..850.0, sample in 0u32..10) {
+        let pm = PowerModel::new(BoardCorner::for_sample(sample));
+        let at = |ops: f64| pm.vccint_w(mv, 40.0, &LoadProfile {
+            f_mhz: 333.0,
+            ops_rate_norm: ops,
+            energy_per_op_factor: 1.0,
+            critical_path_factor: 1.0,
+        });
+        prop_assert!(at(0.0) < at(0.5));
+        prop_assert!(at(0.5) < at(1.0));
+    }
+
+    #[test]
+    fn power_is_monotone_in_temperature(mv in 540.0f64..850.0, sample in 0u32..10) {
+        let pm = PowerModel::new(BoardCorner::for_sample(sample));
+        let load = LoadProfile::nominal();
+        prop_assert!(pm.vccint_w(mv, 34.0, &load) < pm.vccint_w(mv, 52.0, &load));
+    }
+
+    #[test]
+    fn fmax_is_monotone_in_voltage(sample in 0u32..20, temp in 30.0f64..55.0) {
+        let tm = TimingModel::new(BoardCorner::for_sample(sample));
+        let mut prev = tm.fmax_true_mhz(525.0, temp);
+        let mut mv = 530.0;
+        while mv <= 850.0 {
+            let f = tm.fmax_true_mhz(mv, temp);
+            prop_assert!(f >= prev - 1e-9, "Fmax fell at {mv} mV");
+            prev = f;
+            mv += 5.0;
+        }
+    }
+
+    #[test]
+    fn slack_deficit_is_monotone_in_frequency(
+        mv in 530.0f64..700.0,
+        sample in 0u32..10,
+    ) {
+        let tm = TimingModel::new(BoardCorner::for_sample(sample));
+        let d200 = tm.slack_deficit(mv, 200.0, 34.0);
+        let d333 = tm.slack_deficit(mv, 333.0, 34.0);
+        prop_assert!(d333 >= d200);
+    }
+
+    #[test]
+    fn crash_is_monotone_no_resurrection(sample in 0u32..10) {
+        // Once a board stops responding going down in voltage, it stays
+        // unresponsive at every lower voltage.
+        let tm = TimingModel::new(BoardCorner::for_sample(sample));
+        let mut alive_region_ended = false;
+        let mut mv = 850.0;
+        while mv >= 480.0 {
+            let responds = tm.responds(mv, 333.0, 34.0, 0.64);
+            if alive_region_ended {
+                prop_assert!(!responds, "board resurrected at {mv} mV");
+            }
+            if !responds {
+                alive_region_ended = true;
+            }
+            mv -= 5.0;
+        }
+    }
+
+    #[test]
+    fn junction_temperature_monotone_in_fan_duty(duty1 in 0.0f64..50.0, duty2 in 50.0f64..100.0) {
+        let pm = PowerModel::default();
+        let mut t = ThermalModel::new();
+        let load = LoadProfile::nominal();
+        t.set_fan_duty(duty1);
+        let hot = t.junction_c(&pm, 850.0, 850.0, &load);
+        t.set_fan_duty(duty2);
+        let cool = t.junction_c(&pm, 850.0, 850.0, &load);
+        prop_assert!(cool <= hot + 1e-9);
+    }
+
+    #[test]
+    fn pmbus_vout_round_trips_for_any_window_voltage(mv in 400u32..=950) {
+        let mut board = Zcu102Board::new(0).with_exact_telemetry();
+        let mut host = PmbusAdapter::new();
+        let v = f64::from(mv) / 1000.0;
+        host.set_vout(&mut board, 0x13, v).unwrap();
+        // An idle board never hangs, so the read must succeed.
+        let back = host.read_vout(&mut board, 0x13).unwrap();
+        prop_assert!((back - v).abs() < 1e-3);
+    }
+}

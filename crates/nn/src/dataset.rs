@@ -1,0 +1,280 @@
+//! Synthetic datasets with accuracy calibration.
+//!
+//! The paper evaluates on CIFAR-10, Kaggle Dogs-vs-Cats and ILSVRC2012 —
+//! datasets we substitute with synthetic class-conditional images (smooth
+//! class prototypes plus noise). Ground-truth labels are *calibrated*: each
+//! evaluation image's label equals the clean INT8 model's prediction for a
+//! fixed fraction of the set (exactly the paper's "our design @Vnom"
+//! accuracy) and a different class for the rest. This pins the
+//! nominal-voltage accuracy of Table 1 by construction while keeping every
+//! *degraded* accuracy number an emergent result of faulty arithmetic: a
+//! fault-flipped prediction almost surely leaves the matching label.
+
+use crate::graph::GraphError;
+use crate::quant::QuantizedGraph;
+use crate::tensor::Tensor;
+use redvolt_num::rng::Xoshiro256StarStar;
+
+/// A deterministic generator of synthetic class-conditional images.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    h: usize,
+    w: usize,
+    c: usize,
+    classes: usize,
+    seed: u64,
+    prototypes: Vec<Vec<f32>>,
+}
+
+impl SyntheticDataset {
+    /// Creates a dataset of `classes` smooth prototypes of shape `(h,w,c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or the shape is empty.
+    pub fn new(h: usize, w: usize, c: usize, classes: usize, seed: u64) -> Self {
+        assert!(classes > 0 && h * w * c > 0, "degenerate dataset");
+        let root = Xoshiro256StarStar::seed_from(seed);
+        let prototypes = (0..classes)
+            .map(|k| {
+                let mut rng = root.substream(k as u64 + 1);
+                // Smooth pattern: sum of a few random low-frequency waves.
+                let waves: Vec<(f64, f64, f64, f64)> = (0..6)
+                    .map(|_| {
+                        (
+                            rng.next_range(0.1, 0.9),
+                            rng.next_range(0.1, 0.9),
+                            rng.next_range(0.0, std::f64::consts::TAU),
+                            rng.next_range(0.4, 1.0),
+                        )
+                    })
+                    .collect();
+                let mut data = Vec::with_capacity(h * w * c);
+                for y in 0..h {
+                    for x in 0..w {
+                        for ch in 0..c {
+                            let mut v = 0.0;
+                            for (fy, fx, phase, amp) in &waves {
+                                v += amp
+                                    * (fy * y as f64 + fx * x as f64
+                                        + phase
+                                        + ch as f64 * 1.7)
+                                        .sin();
+                            }
+                            data.push((v / 3.0) as f32);
+                        }
+                    }
+                }
+                data
+            })
+            .collect();
+        SyntheticDataset {
+            h,
+            w,
+            c,
+            classes,
+            seed,
+            prototypes,
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Generates image `index` deterministically: a prototype blended with
+    /// seeded noise. Returns the image and its generating class.
+    pub fn image(&self, index: usize) -> (Tensor, usize) {
+        let mut rng = Xoshiro256StarStar::seed_from(self.seed ^ 0xDA7A).substream(index as u64);
+        let class = rng.next_index(self.classes);
+        let blend = rng.next_range(0.55, 0.8) as f32;
+        let proto = &self.prototypes[class];
+        let data: Vec<f32> = proto
+            .iter()
+            .map(|&p| blend * p + (1.0 - blend) * rng.next_gaussian(0.0, 0.5) as f32)
+            .collect();
+        (Tensor::from_vec(self.h, self.w, self.c, data), class)
+    }
+
+    /// Generates the first `n` images.
+    pub fn images(&self, n: usize) -> Vec<Tensor> {
+        (0..n).map(|i| self.image(i).0).collect()
+    }
+}
+
+/// A labelled evaluation set with calibrated nominal accuracy.
+#[derive(Debug, Clone)]
+pub struct EvalSet {
+    /// Evaluation images.
+    pub images: Vec<Tensor>,
+    /// Calibrated ground-truth labels.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl EvalSet {
+    /// Builds an evaluation set of `n` images whose labels give the clean
+    /// `reference` model an accuracy of exactly `round(target_accuracy·n)/n`.
+    ///
+    /// Exactly that many images (chosen by a seeded shuffle) keep the
+    /// reference prediction as their label; the rest get a different,
+    /// seeded-random class.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from reference inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `target_accuracy` is outside `[0, 1]`, or the
+    /// dataset has a single class (no "different class" exists).
+    pub fn calibrated(
+        reference: &mut QuantizedGraph,
+        dataset: &SyntheticDataset,
+        n: usize,
+        target_accuracy: f64,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
+        assert!(n > 0, "empty evaluation set");
+        assert!((0.0..=1.0).contains(&target_accuracy), "bad target");
+        assert!(dataset.classes() > 1, "need at least two classes");
+        let images = dataset.images(n);
+        let preds: Vec<usize> = images
+            .iter()
+            .map(|img| reference.predict(img))
+            .collect::<Result<_, _>>()?;
+        let keep = (target_accuracy * n as f64).round() as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = Xoshiro256StarStar::seed_from(seed ^ 0x1ABE1);
+        rng.shuffle(&mut order);
+        let mut labels = vec![0usize; n];
+        for (rank, &i) in order.iter().enumerate() {
+            if rank < keep {
+                labels[i] = preds[i];
+            } else {
+                // A different class, uniformly among the others.
+                let mut wrong = rng.next_index(dataset.classes() - 1);
+                if wrong >= preds[i] {
+                    wrong += 1;
+                }
+                labels[i] = wrong;
+            }
+        }
+        Ok(EvalSet {
+            images,
+            labels,
+            classes: dataset.classes(),
+        })
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Accuracy of `predictions` against the calibrated labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn accuracy(&self, predictions: &[usize]) -> f64 {
+        assert_eq!(predictions.len(), self.labels.len(), "length mismatch");
+        let hits = predictions
+            .iter()
+            .zip(&self.labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        hits as f64 / self.labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{ModelKind, ModelScale};
+    use crate::quant::QuantizedGraph;
+
+    fn reference() -> (QuantizedGraph, SyntheticDataset) {
+        let g = ModelKind::VggNet.build(ModelScale::Tiny);
+        let ds = SyntheticDataset::new(32, 32, 3, 10, 42);
+        let q = QuantizedGraph::quantize(&g, 8, &ds.images(8)).unwrap();
+        (q, ds)
+    }
+
+    #[test]
+    fn images_are_deterministic() {
+        let ds = SyntheticDataset::new(8, 8, 3, 4, 7);
+        let (a, ca) = ds.image(3);
+        let (b, cb) = ds.image(3);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let ds = SyntheticDataset::new(8, 8, 3, 4, 7);
+        assert_ne!(ds.image(0).0, ds.image(1).0);
+    }
+
+    #[test]
+    fn prototypes_are_bounded() {
+        let ds = SyntheticDataset::new(16, 16, 3, 10, 9);
+        for i in 0..20 {
+            let (img, _) = ds.image(i);
+            assert!(img.max_abs() < 5.0, "image {i} out of range");
+        }
+    }
+
+    #[test]
+    fn calibrated_accuracy_is_exact() {
+        let (mut q, ds) = reference();
+        let set = EvalSet::calibrated(&mut q, &ds, 40, 0.86, 1).unwrap();
+        let preds: Vec<usize> = set
+            .images
+            .iter()
+            .map(|img| q.predict(img).unwrap())
+            .collect();
+        let acc = set.accuracy(&preds);
+        // round(0.86*40)=34 -> 0.85.
+        assert!((acc - (0.86f64 * 40.0).round() / 40.0).abs() < 1e-9, "{acc}");
+    }
+
+    #[test]
+    fn wrong_labels_never_equal_prediction() {
+        let (mut q, ds) = reference();
+        let set = EvalSet::calibrated(&mut q, &ds, 30, 0.5, 3).unwrap();
+        let preds: Vec<usize> = set
+            .images
+            .iter()
+            .map(|img| q.predict(img).unwrap())
+            .collect();
+        let hits = preds.iter().zip(&set.labels).filter(|(p, l)| p == l).count();
+        assert_eq!(hits, 15);
+        for l in &set.labels {
+            assert!(*l < 10);
+        }
+    }
+
+    #[test]
+    fn calibration_is_seed_stable() {
+        let (mut q, ds) = reference();
+        let a = EvalSet::calibrated(&mut q, &ds, 20, 0.8, 5).unwrap();
+        let b = EvalSet::calibrated(&mut q, &ds, 20, 0.8, 5).unwrap();
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_checks_lengths() {
+        let (mut q, ds) = reference();
+        let set = EvalSet::calibrated(&mut q, &ds, 10, 0.8, 5).unwrap();
+        set.accuracy(&[0; 3]);
+    }
+}

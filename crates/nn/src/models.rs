@@ -1,0 +1,571 @@
+//! The five DSN-2020 benchmark CNNs.
+//!
+//! Structurally faithful, channel-scaled builders for the paper's Table-1
+//! benchmarks. Layer vocabulary, depth and the *relative parameter-size
+//! ordering* (GoogleNet < VGGNet < ResNet50 < Inception < AlexNet) match
+//! the paper; absolute sizes are scaled down (documented in DESIGN.md) so
+//! that the full multi-board × multi-voltage × multi-repetition campaigns
+//! run in minutes instead of days inside the cycle-accounted simulator.
+//!
+//! Weights are deterministic seeded He-initialized values: the study
+//! evaluates *inference under hardware faults*, not training, and the
+//! synthetic datasets in [`crate::dataset`] calibrate each network's
+//! nominal-voltage accuracy to the paper's Table 1 by construction.
+
+use crate::graph::{ConvParams, Graph, GraphBuilder, NodeId};
+use redvolt_num::rng::Xoshiro256StarStar;
+
+/// One of the paper's five image-classification benchmarks (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// VGGNet on CIFAR-10 (32×32, 10 classes, 6 weight layers).
+    VggNet,
+    /// GoogleNet on CIFAR-10 (32×32, 10 classes, 21 weight layers).
+    GoogleNet,
+    /// AlexNet on Kaggle Dogs-vs-Cats (48×48 scaled, 2 classes, 8 layers).
+    AlexNet,
+    /// ResNet50 on ILSVRC2012 (32×32 scaled, 50 classes, 50 layers).
+    ResNet50,
+    /// Inception on ILSVRC2012 (32×32 scaled, 50 classes, 22 layers).
+    Inception,
+}
+
+impl ModelKind {
+    /// All five benchmarks in the paper's Table-1 order.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::VggNet,
+        ModelKind::GoogleNet,
+        ModelKind::AlexNet,
+        ModelKind::ResNet50,
+        ModelKind::Inception,
+    ];
+
+    /// Benchmark name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::VggNet => "VGGNet",
+            ModelKind::GoogleNet => "GoogleNet",
+            ModelKind::AlexNet => "AlexNet",
+            ModelKind::ResNet50 => "ResNet50",
+            ModelKind::Inception => "Inception",
+        }
+    }
+
+    /// The paper's Table-1 metadata for this benchmark.
+    pub fn spec(self) -> ModelSpec {
+        match self {
+            ModelKind::VggNet => ModelSpec {
+                kind: self,
+                dataset: "Cifar-10",
+                input_hw: 32,
+                classes: 10,
+                paper_layers: 6,
+                paper_size_mb: 8.7,
+                paper_accuracy: 0.87,
+                paper_accuracy_at_vnom: 0.86,
+            },
+            ModelKind::GoogleNet => ModelSpec {
+                kind: self,
+                dataset: "Cifar-10",
+                input_hw: 32,
+                classes: 10,
+                paper_layers: 21,
+                paper_size_mb: 6.6,
+                paper_accuracy: 0.91,
+                paper_accuracy_at_vnom: 0.91,
+            },
+            ModelKind::AlexNet => ModelSpec {
+                kind: self,
+                dataset: "Kaggle Dogs vs. Cats",
+                input_hw: 48,
+                classes: 2,
+                paper_layers: 8,
+                paper_size_mb: 233.2,
+                paper_accuracy: 0.96,
+                paper_accuracy_at_vnom: 0.925,
+            },
+            ModelKind::ResNet50 => ModelSpec {
+                kind: self,
+                dataset: "ILSVRC2012",
+                input_hw: 32,
+                classes: 50,
+                paper_layers: 50,
+                paper_size_mb: 102.5,
+                paper_accuracy: 0.76,
+                paper_accuracy_at_vnom: 0.688,
+            },
+            ModelKind::Inception => ModelSpec {
+                kind: self,
+                dataset: "ILSVRC2012",
+                input_hw: 32,
+                classes: 50,
+                paper_layers: 22,
+                paper_size_mb: 107.3,
+                paper_accuracy: 0.687,
+                paper_accuracy_at_vnom: 0.651,
+            },
+        }
+    }
+
+    /// Builds the model graph at the given scale. Batch-norm layers (in
+    /// ResNet50) are left unfolded; callers quantizing the graph should
+    /// call [`Graph::fold_batch_norms`] first, as the DPU toolchain does.
+    ///
+    /// Dense-layer biases are centered on a seeded probe set (see
+    /// [`Graph::center_dense_biases`]) so the classifier produces diverse,
+    /// input-dependent predictions, as a trained model would.
+    pub fn build(self, scale: ModelScale) -> Graph {
+        let mut init = WeightInit::new(self);
+        let mut graph = match self {
+            ModelKind::VggNet => build_vggnet(scale, &mut init),
+            ModelKind::GoogleNet => build_googlenet(scale, &mut init),
+            ModelKind::AlexNet => build_alexnet(scale, &mut init),
+            ModelKind::ResNet50 => build_resnet50(scale, &mut init),
+            ModelKind::Inception => build_inception(scale, &mut init),
+        };
+        let spec = self.spec();
+        let probe_set = crate::dataset::SyntheticDataset::new(
+            spec.input_hw,
+            spec.input_hw,
+            3,
+            spec.classes,
+            0xD0B1A5 ^ self as u64,
+        );
+        let n_center = 12;
+        graph
+            .center_dense_biases(&probe_set.images(n_center))
+            .expect("probe images match the input shape");
+        // Fit the linear readout on held-out probe images so the
+        // classifier has trained-model-like decision margins (see
+        // `Graph::fit_readout`). Sized at ≥4 samples per class.
+        let n_fit = (spec.classes * 4).max(120);
+        let mut fit_images = Vec::with_capacity(n_fit);
+        let mut fit_labels = Vec::with_capacity(n_fit);
+        for i in 0..n_fit {
+            let (img, class) = probe_set.image(n_center + i);
+            fit_images.push(img);
+            fit_labels.push(class);
+        }
+        graph
+            .fit_readout(&fit_images, &fit_labels, 400, 1.0)
+            .expect("probe images match the input shape");
+        graph
+    }
+}
+
+/// Table-1 metadata of a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSpec {
+    /// Which benchmark.
+    pub kind: ModelKind,
+    /// Dataset name as in the paper.
+    pub dataset: &'static str,
+    /// Square input size (paper inputs are scaled; see DESIGN.md).
+    pub input_hw: usize,
+    /// Output classes (ILSVRC scaled from 1000 to 50).
+    pub classes: usize,
+    /// The paper's "#Layers" column (conventional depth counting).
+    pub paper_layers: usize,
+    /// The paper's parameter size in MB.
+    pub paper_size_mb: f64,
+    /// Literature accuracy from Table 1.
+    pub paper_accuracy: f64,
+    /// The paper's measured accuracy at Vnom ("Our design @Vnom").
+    pub paper_accuracy_at_vnom: f64,
+}
+
+/// Build scale: full (benchmark) or tiny (unit tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelScale {
+    /// The scaled-benchmark configuration used by all experiments.
+    Paper,
+    /// A heavily shrunk configuration for fast unit tests (same layer
+    /// structure, quarter-ish widths).
+    Tiny,
+}
+
+impl ModelScale {
+    fn ch(self, full: usize) -> usize {
+        match self {
+            ModelScale::Paper => full,
+            ModelScale::Tiny => (full / 4).max(2),
+        }
+    }
+}
+
+/// Deterministic He-style weight initializer with per-layer substreams.
+struct WeightInit {
+    rng: Xoshiro256StarStar,
+    layer: u64,
+}
+
+impl WeightInit {
+    fn new(kind: ModelKind) -> Self {
+        let seed = match kind {
+            ModelKind::VggNet => 0x5EED_0001,
+            ModelKind::GoogleNet => 0x5EED_0002,
+            ModelKind::AlexNet => 0x5EED_0003,
+            ModelKind::ResNet50 => 0x5EED_0004,
+            ModelKind::Inception => 0x5EED_0005,
+        };
+        WeightInit {
+            rng: Xoshiro256StarStar::seed_from(seed),
+            layer: 0,
+        }
+    }
+
+    fn conv_weights(&mut self, p: &ConvParams) -> (Vec<f32>, Vec<f32>) {
+        self.layer += 1;
+        let mut rng = self.rng.substream(self.layer);
+        let fan_in = (p.k * p.k * p.in_ch) as f64;
+        let std = (2.0 / fan_in).sqrt();
+        let w = (0..p.weight_count())
+            .map(|_| rng.next_gaussian(0.0, std) as f32)
+            .collect();
+        let b = (0..p.out_ch)
+            .map(|_| rng.next_gaussian(0.0, 0.02) as f32)
+            .collect();
+        (w, b)
+    }
+
+    fn dense_weights(&mut self, in_len: usize, out_len: usize) -> (Vec<f32>, Vec<f32>) {
+        self.layer += 1;
+        let mut rng = self.rng.substream(self.layer);
+        let std = (2.0 / in_len as f64).sqrt();
+        let w = (0..in_len * out_len)
+            .map(|_| rng.next_gaussian(0.0, std) as f32)
+            .collect();
+        let b = (0..out_len)
+            .map(|_| rng.next_gaussian(0.0, 0.02) as f32)
+            .collect();
+        (w, b)
+    }
+
+    fn bn_params(&mut self, c: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        self.layer += 1;
+        let mut rng = self.rng.substream(self.layer);
+        let gamma = (0..c).map(|_| 1.0 + rng.next_gaussian(0.0, 0.05) as f32).collect();
+        let beta = (0..c).map(|_| rng.next_gaussian(0.0, 0.02) as f32).collect();
+        let mean = (0..c).map(|_| rng.next_gaussian(0.0, 0.05) as f32).collect();
+        let var = (0..c).map(|_| (1.0 + rng.next_gaussian(0.0, 0.1)).abs().max(0.25) as f32).collect();
+        (gamma, beta, mean, var)
+    }
+}
+
+fn conv(
+    b: &mut GraphBuilder,
+    init: &mut WeightInit,
+    name: &str,
+    x: NodeId,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    relu: bool,
+) -> NodeId {
+    let in_ch = b.shape(x).c;
+    let p = ConvParams {
+        in_ch,
+        out_ch,
+        k,
+        stride,
+        pad,
+        relu,
+    };
+    let (w, bias) = init.conv_weights(&p);
+    b.conv(name, x, p, w, bias)
+}
+
+fn dense(
+    b: &mut GraphBuilder,
+    init: &mut WeightInit,
+    name: &str,
+    x: NodeId,
+    out_len: usize,
+    relu: bool,
+) -> NodeId {
+    let in_len = b.shape(x).len();
+    let (w, bias) = init.dense_weights(in_len, out_len);
+    b.dense(name, x, out_len, relu, w, bias)
+}
+
+/// VGGNet: 4 conv + 2 dense (the paper's 6 layers) on 32×32 CIFAR-10.
+fn build_vggnet(s: ModelScale, init: &mut WeightInit) -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(32, 32, 3);
+    let x = conv(&mut b, init, "conv1", x, s.ch(24), 3, 1, 1, true);
+    let x = b.max_pool("pool1", x, 2, 2);
+    let x = conv(&mut b, init, "conv2", x, s.ch(32), 3, 1, 1, true);
+    let x = b.max_pool("pool2", x, 2, 2);
+    let x = conv(&mut b, init, "conv3", x, s.ch(48), 3, 1, 1, true);
+    let x = conv(&mut b, init, "conv4", x, s.ch(64), 3, 1, 1, true);
+    let x = b.max_pool("pool3", x, 2, 2);
+    let x = dense(&mut b, init, "fc1", x, s.ch(96), true);
+    let x = dense(&mut b, init, "fc2", x, 10, false);
+    let out = b.softmax("softmax", x);
+    b.finish(out)
+}
+
+/// An inception-style module with four branches: 1×1, 1×1→3×3, 3×3, and a
+/// 1×1 projection. Five weight layers per module.
+#[allow(clippy::too_many_arguments)]
+fn inception_module(
+    b: &mut GraphBuilder,
+    init: &mut WeightInit,
+    name: &str,
+    x: NodeId,
+    br1: usize,
+    br2_reduce: usize,
+    br2: usize,
+    br3: usize,
+    br4: usize,
+) -> NodeId {
+    let p1 = conv(b, init, &format!("{name}_1x1"), x, br1, 1, 1, 0, true);
+    let r2 = conv(b, init, &format!("{name}_3x3r"), x, br2_reduce, 1, 1, 0, true);
+    let p2 = conv(b, init, &format!("{name}_3x3"), r2, br2, 3, 1, 1, true);
+    let p3 = conv(b, init, &format!("{name}_d3x3"), x, br3, 3, 1, 1, true);
+    let p4 = conv(b, init, &format!("{name}_proj"), x, br4, 1, 1, 0, true);
+    b.concat(&format!("{name}_cat"), &[p1, p2, p3, p4])
+}
+
+/// GoogleNet: 4 stem convs + 3 inception modules (5 convs each) + 2 dense
+/// = 21 weight layers, on 32×32 CIFAR-10.
+fn build_googlenet(s: ModelScale, init: &mut WeightInit) -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(32, 32, 3);
+    let x = conv(&mut b, init, "stem1", x, s.ch(16), 3, 1, 1, true);
+    let x = b.max_pool("pool1", x, 2, 2);
+    let x = conv(&mut b, init, "stem2", x, s.ch(16), 1, 1, 0, true);
+    let x = conv(&mut b, init, "stem3", x, s.ch(24), 3, 1, 1, true);
+    let x = conv(&mut b, init, "stem4", x, s.ch(32), 3, 1, 1, true);
+    let x = b.max_pool("pool2", x, 2, 2);
+    let x = inception_module(&mut b, init, "inc1", x, s.ch(8), s.ch(8), s.ch(12), s.ch(8), s.ch(4));
+    let x = inception_module(&mut b, init, "inc2", x, s.ch(12), s.ch(8), s.ch(16), s.ch(12), s.ch(8));
+    let x = b.max_pool("pool3", x, 2, 2);
+    let x = inception_module(&mut b, init, "inc3", x, s.ch(16), s.ch(12), s.ch(24), s.ch(16), s.ch(8));
+    let x = b.global_avg_pool("gap", x);
+    let x = dense(&mut b, init, "fc1", x, s.ch(32), true);
+    let x = dense(&mut b, init, "fc2", x, 10, false);
+    let out = b.softmax("softmax", x);
+    b.finish(out)
+}
+
+/// AlexNet: 5 conv + 3 dense (8 layers) on 48×48 Dogs-vs-Cats. The three
+/// large fully-connected layers dominate its parameter count, as in the
+/// original (Table 1's 233 MB).
+fn build_alexnet(s: ModelScale, init: &mut WeightInit) -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(48, 48, 3);
+    let x = conv(&mut b, init, "conv1", x, s.ch(24), 5, 2, 2, true);
+    let x = b.max_pool("pool1", x, 2, 2);
+    let x = conv(&mut b, init, "conv2", x, s.ch(48), 3, 1, 1, true);
+    let x = b.max_pool("pool2", x, 2, 2);
+    let x = conv(&mut b, init, "conv3", x, s.ch(64), 3, 1, 1, true);
+    let x = conv(&mut b, init, "conv4", x, s.ch(64), 3, 1, 1, true);
+    let x = conv(&mut b, init, "conv5", x, s.ch(48), 3, 1, 1, true);
+    let x = b.max_pool("pool3", x, 2, 2);
+    let x = dense(&mut b, init, "fc1", x, s.ch(1024), true);
+    let x = dense(&mut b, init, "fc2", x, s.ch(512), true);
+    let x = dense(&mut b, init, "fc3", x, 2, false);
+    let out = b.softmax("softmax", x);
+    b.finish(out)
+}
+
+/// One ResNet bottleneck block: 1×1 reduce → 3×3 (with batch norm) →
+/// 1×1 expand, plus identity or projection shortcut.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    b: &mut GraphBuilder,
+    init: &mut WeightInit,
+    name: &str,
+    x: NodeId,
+    mid: usize,
+    out: usize,
+    stride: usize,
+) -> NodeId {
+    let in_ch = b.shape(x).c;
+    let c1 = conv(b, init, &format!("{name}_a"), x, mid, 1, 1, 0, true);
+    let c2 = conv(b, init, &format!("{name}_b"), c1, mid, 3, stride, 1, false);
+    let (g, be, m, v) = init.bn_params(mid);
+    let c2 = b.batch_norm(&format!("{name}_bn"), c2, g, be, m, v);
+    let c3 = conv(b, init, &format!("{name}_c"), c2, out, 1, 1, 0, false);
+    let shortcut = if in_ch != out || stride != 1 {
+        conv(b, init, &format!("{name}_proj"), x, out, 1, stride, 0, false)
+    } else {
+        x
+    };
+    b.add(&format!("{name}_add"), c3, shortcut, true)
+}
+
+/// ResNet50: stem + [3,4,6,3] bottlenecks (3 convs each) + classifier =
+/// 50 conventional layers, on 32×32 scaled ILSVRC (50 classes).
+fn build_resnet50(s: ModelScale, init: &mut WeightInit) -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(32, 32, 3);
+    let mut x = conv(&mut b, init, "stem", x, s.ch(16), 3, 2, 1, true);
+    let stages: [(usize, usize, usize); 4] = [
+        (3, s.ch(8), s.ch(32)),
+        (4, s.ch(16), s.ch(64)),
+        (6, s.ch(32), s.ch(128)),
+        (3, s.ch(48), s.ch(192)),
+    ];
+    for (si, (blocks, mid, out)) in stages.iter().enumerate() {
+        for bi in 0..*blocks {
+            let stride = if bi == 0 && si > 0 { 2 } else { 1 };
+            x = bottleneck(
+                &mut b,
+                init,
+                &format!("s{}b{}", si + 1, bi + 1),
+                x,
+                *mid,
+                *out,
+                stride,
+            );
+        }
+    }
+    let x = b.global_avg_pool("gap", x);
+    let x = dense(&mut b, init, "fc", x, 50, false);
+    let out = b.softmax("softmax", x);
+    b.finish(out)
+}
+
+/// Inception: 4 stem convs + 3 modules (5 convs each) + 1×1 expansion +
+/// 2 dense = 22 weight layers, on 32×32 scaled ILSVRC (50 classes).
+fn build_inception(s: ModelScale, init: &mut WeightInit) -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(32, 32, 3);
+    let x = conv(&mut b, init, "stem1", x, s.ch(16), 3, 2, 1, true);
+    let x = conv(&mut b, init, "stem2", x, s.ch(24), 3, 1, 1, true);
+    let x = conv(&mut b, init, "stem3", x, s.ch(32), 3, 1, 1, true);
+    let x = conv(&mut b, init, "stem4", x, s.ch(32), 1, 1, 0, true);
+    let x = b.max_pool("pool1", x, 2, 2);
+    let x = inception_module(&mut b, init, "inc1", x, s.ch(12), s.ch(12), s.ch(16), s.ch(12), s.ch(8));
+    let x = inception_module(&mut b, init, "inc2", x, s.ch(16), s.ch(16), s.ch(24), s.ch(16), s.ch(8));
+    let x = b.max_pool("pool2", x, 2, 2);
+    let x = inception_module(&mut b, init, "inc3", x, s.ch(24), s.ch(16), s.ch(32), s.ch(24), s.ch(16));
+    let x = conv(&mut b, init, "expand", x, s.ch(256), 1, 1, 0, true);
+    let x = b.global_avg_pool("gap", x);
+    let x = dense(&mut b, init, "fc1", x, s.ch(896), true);
+    let x = dense(&mut b, init, "fc2", x, 50, false);
+    let out = b.softmax("softmax", x);
+    b.finish(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn probe_image(hw: usize) -> Tensor {
+        Tensor::from_vec(
+            hw,
+            hw,
+            3,
+            (0..hw * hw * 3).map(|i| ((i as f32) * 0.013).sin()).collect(),
+        )
+    }
+
+    #[test]
+    fn all_models_build_and_run_tiny() {
+        for kind in ModelKind::ALL {
+            let g = kind.build(ModelScale::Tiny);
+            let spec = kind.spec();
+            let img = probe_image(spec.input_hw);
+            let out = g.forward(&img).unwrap();
+            assert_eq!(out.len(), spec.classes, "{}", kind.name());
+            let sum: f32 = out.data().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "{} softmax sum {sum}", kind.name());
+        }
+    }
+
+    #[test]
+    fn parameter_ordering_matches_table1() {
+        // Paper: GoogleNet (6.6 MB) < VGG (8.7) < ResNet (102.5)
+        //        < Inception (107.3) < AlexNet (233.2).
+        let params: Vec<(ModelKind, usize)> = ModelKind::ALL
+            .iter()
+            .map(|&k| (k, k.build(ModelScale::Paper).param_count()))
+            .collect();
+        let get = |k: ModelKind| params.iter().find(|(m, _)| *m == k).unwrap().1;
+        let (g, v, r, i, a) = (
+            get(ModelKind::GoogleNet),
+            get(ModelKind::VggNet),
+            get(ModelKind::ResNet50),
+            get(ModelKind::Inception),
+            get(ModelKind::AlexNet),
+        );
+        assert!(g < v, "GoogleNet {g} < VGG {v}");
+        assert!(v < r, "VGG {v} < ResNet {r}");
+        assert!(r < i, "ResNet {r} < Inception {i}");
+        assert!(i < a, "Inception {i} < AlexNet {a}");
+    }
+
+    #[test]
+    fn weight_layer_counts_are_structurally_faithful() {
+        // Conventional depth counting excludes projection shortcuts and BN.
+        let count = |k: ModelKind| {
+            let g = k.build(ModelScale::Paper);
+            let extra = g
+                .nodes()
+                .iter()
+                .filter(|n| n.name.ends_with("_proj") && k == ModelKind::ResNet50)
+                .count();
+            g.weight_layer_count() - extra
+        };
+        assert_eq!(count(ModelKind::VggNet), 6);
+        assert_eq!(count(ModelKind::GoogleNet), 21);
+        assert_eq!(count(ModelKind::AlexNet), 8);
+        assert_eq!(count(ModelKind::ResNet50), 50);
+        assert_eq!(count(ModelKind::Inception), 22);
+    }
+
+    #[test]
+    fn resnet_has_batch_norms_and_they_fold() {
+        let g = ModelKind::ResNet50.build(ModelScale::Tiny);
+        let bn_count = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, crate::graph::Op::BatchNorm { .. }))
+            .count();
+        assert_eq!(bn_count, 16, "one BN per bottleneck");
+        let folded = g.fold_batch_norms();
+        let bn_left = folded
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, crate::graph::Op::BatchNorm { .. }))
+            .count();
+        assert_eq!(bn_left, 0);
+        let img = probe_image(32);
+        let a = g.forward(&img).unwrap();
+        let b = folded.forward(&img).unwrap();
+        for (u, v) in a.data().iter().zip(b.data()) {
+            assert!((u - v).abs() < 1e-3, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = ModelKind::VggNet.build(ModelScale::Paper);
+        let b = ModelKind::VggNet.build(ModelScale::Paper);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_models_have_different_weights() {
+        let a = ModelKind::VggNet.build(ModelScale::Tiny);
+        let b = ModelKind::GoogleNet.build(ModelScale::Tiny);
+        assert_ne!(a.param_count(), b.param_count());
+    }
+
+    #[test]
+    fn mac_counts_are_within_simulation_budget() {
+        for kind in ModelKind::ALL {
+            let macs = kind.build(ModelScale::Paper).mac_count();
+            assert!(
+                (500_000..30_000_000).contains(&macs),
+                "{}: {macs} MACs",
+                kind.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Dense tensors in HWC layout.
+//!
+//! Activations are stored height × width × channels with channels innermost,
+//! so convolution inner loops run over contiguous memory on both the input
+//! and the weights — the same reason systolic accelerators like the DPU
+//! prefer channel-innermost streaming. Weights for a convolution are stored
+//! `[out_ch][kh][kw][in_ch]`.
+
+use std::fmt;
+
+/// A dense `f32` tensor in HWC layout (or flat 1-D for vectors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    h: usize,
+    w: usize,
+    c: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of shape `(h, w, c)`.
+    pub fn zeros(h: usize, w: usize, c: usize) -> Self {
+        Tensor {
+            h,
+            w,
+            c,
+            data: vec![0.0; h * w * c],
+        }
+    }
+
+    /// Wraps existing data as an `(h, w, c)` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != h * w * c`.
+    pub fn from_vec(h: usize, w: usize, c: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), h * w * c, "shape/data mismatch");
+        Tensor { h, w, c, data }
+    }
+
+    /// Creates a flat vector tensor of length `n` (shape `(1, 1, n)`).
+    pub fn vector(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Tensor { h: 1, w: 1, c: n, data }
+    }
+
+    /// Height.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Width.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Channels.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the backing data (HWC order).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(y, x, ch)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn at(&self, y: usize, x: usize, ch: usize) -> f32 {
+        assert!(y < self.h && x < self.w && ch < self.c, "index out of range");
+        self.data[(y * self.w + x) * self.c + ch]
+    }
+
+    /// Sets the element at `(y, x, ch)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn set(&mut self, y: usize, x: usize, ch: usize, v: f32) {
+        assert!(y < self.h && x < self.w && ch < self.c, "index out of range");
+        self.data[(y * self.w + x) * self.c + ch] = v;
+    }
+
+    /// Largest absolute value (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Index of the largest element (ties break to the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}x{}]", self.h, self.w, self.c)
+    }
+}
+
+/// A quantized activation tensor: `i8` codes plus a power-agnostic scale.
+///
+/// `real ≈ code · scale`. Codes are stored in the same HWC layout as
+/// [`Tensor`]; at precisions below INT8 the codes still live in `i8`
+/// storage but are range-limited to the narrower format (as in the DPU,
+/// where narrow operands are packed into byte lanes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    h: usize,
+    w: usize,
+    c: usize,
+    /// Quantized codes.
+    pub codes: Vec<i8>,
+    /// Real value per unit code.
+    pub scale: f32,
+}
+
+impl QTensor {
+    /// Creates a zero-filled quantized tensor.
+    pub fn zeros(h: usize, w: usize, c: usize, scale: f32) -> Self {
+        QTensor {
+            h,
+            w,
+            c,
+            codes: vec![0; h * w * c],
+            scale,
+        }
+    }
+
+    /// Height.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Width.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Channels.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Dequantizes to a float tensor.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            self.h,
+            self.w,
+            self.c,
+            self.codes.iter().map(|&q| f32::from(q) * self.scale).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut t = Tensor::zeros(4, 5, 3);
+        t.set(2, 3, 1, 7.5);
+        assert_eq!(t.at(2, 3, 1), 7.5);
+        assert_eq!(t.at(2, 3, 0), 0.0);
+    }
+
+    #[test]
+    fn hwc_layout_is_channel_innermost() {
+        let mut t = Tensor::zeros(2, 2, 3);
+        t.set(0, 0, 0, 1.0);
+        t.set(0, 0, 1, 2.0);
+        t.set(0, 0, 2, 3.0);
+        assert_eq!(&t.data()[..3], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn out_of_range_panics() {
+        Tensor::zeros(2, 2, 2).at(2, 0, 0);
+    }
+
+    #[test]
+    fn argmax_finds_first_max() {
+        let t = Tensor::vector(vec![1.0, 5.0, 5.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn max_abs_covers_negatives() {
+        let t = Tensor::vector(vec![1.0, -9.0, 3.0]);
+        assert_eq!(t.max_abs(), 9.0);
+    }
+
+    #[test]
+    fn qtensor_dequantizes() {
+        let mut q = QTensor::zeros(1, 1, 4, 0.5);
+        q.codes[2] = -6;
+        let t = q.dequantize();
+        assert_eq!(t.at(0, 0, 2), -3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_vec_validates_len() {
+        Tensor::from_vec(2, 2, 2, vec![0.0; 7]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Linear-readout training (softmax regression).
+//!
+//! The benchmark models use frozen seeded-random convolutional features
+//! with a *trained* linear classifier on top (see
+//! [`crate::graph::Graph::fit_readout`]), which restores the decision
+//! margins of a trained network. The same trainer is reused for
+//! quantization-aware recalibration: after quantizing the backbone, the
+//! readout is refitted on the *quantized* features, mirroring the DECENT
+//! toolchain's quantize-then-finetune flow (§3.1).
+
+/// Trains `weights`/`bias` (row-major `[classes][dim]`) by full-batch
+/// softmax regression with L2 decay.
+///
+/// # Panics
+///
+/// Panics if buffer sizes disagree or a label is out of range.
+pub fn fit_softmax_regression(
+    features: &[Vec<f32>],
+    labels: &[usize],
+    dim: usize,
+    classes: usize,
+    weights: &mut [f32],
+    bias: &mut [f32],
+    epochs: usize,
+    learning_rate: f32,
+) {
+    assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+    assert_eq!(weights.len(), dim * classes, "weight buffer size");
+    assert_eq!(bias.len(), classes, "bias buffer size");
+    for f in features {
+        assert_eq!(f.len(), dim, "feature dimension");
+    }
+    for &label in labels {
+        assert!(label < classes, "label {label} out of range");
+    }
+    if features.is_empty() {
+        return;
+    }
+    let n = features.len() as f32;
+    let decay = 1e-5f32;
+    for _ in 0..epochs {
+        let mut grad_w = vec![0.0f32; weights.len()];
+        let mut grad_b = vec![0.0f32; classes];
+        for (f, &label) in features.iter().zip(labels) {
+            let mut logits = vec![0.0f32; classes];
+            for (k, l) in logits.iter_mut().enumerate() {
+                let row = &weights[k * dim..(k + 1) * dim];
+                *l = bias[k] + f.iter().zip(row).map(|(a, b)| a * b).sum::<f32>();
+            }
+            let m = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let exps: Vec<f32> = logits.iter().map(|&z| (z - m).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for k in 0..classes {
+                let p = exps[k] / sum;
+                let err = p - if k == label { 1.0 } else { 0.0 };
+                grad_b[k] += err;
+                let gw = &mut grad_w[k * dim..(k + 1) * dim];
+                for (g, &x) in gw.iter_mut().zip(f) {
+                    *g += err * x;
+                }
+            }
+        }
+        for (w, g) in weights.iter_mut().zip(&grad_w) {
+            *w -= learning_rate * (g / n + decay * *w);
+        }
+        for (b, g) in bias.iter_mut().zip(&grad_b) {
+            *b -= learning_rate * g / n;
+        }
+    }
+}
+
+/// Classification accuracy of a linear readout on features.
+pub fn readout_accuracy(
+    features: &[Vec<f32>],
+    labels: &[usize],
+    dim: usize,
+    classes: usize,
+    weights: &[f32],
+    bias: &[f32],
+) -> f64 {
+    let mut hits = 0usize;
+    for (f, &label) in features.iter().zip(labels) {
+        let mut best = 0usize;
+        let mut best_z = f32::NEG_INFINITY;
+        for k in 0..classes {
+            let row = &weights[k * dim..(k + 1) * dim];
+            let z = bias[k] + f.iter().zip(row).map(|(a, b)| a * b).sum::<f32>();
+            if z > best_z {
+                best_z = z;
+                best = k;
+            }
+        }
+        if best == label {
+            hits += 1;
+        }
+    }
+    hits as f64 / labels.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redvolt_num::rng::Xoshiro256StarStar;
+
+    fn separable_problem(n: usize) -> (Vec<Vec<f32>>, Vec<usize>) {
+        // Three well-separated Gaussian blobs in 8 dimensions.
+        let mut rng = Xoshiro256StarStar::seed_from(5);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 3;
+            let mut f = vec![0.0f32; 8];
+            for (d, v) in f.iter_mut().enumerate() {
+                let center = if d % 3 == class { 2.0 } else { -1.0 };
+                *v = center + rng.next_gaussian(0.0, 0.3) as f32;
+            }
+            features.push(f);
+            labels.push(class);
+        }
+        (features, labels)
+    }
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let (features, labels) = separable_problem(90);
+        let mut w = vec![0.0f32; 8 * 3];
+        let mut b = vec![0.0f32; 3];
+        fit_softmax_regression(&features, &labels, 8, 3, &mut w, &mut b, 200, 0.5);
+        let acc = readout_accuracy(&features, &labels, 8, 3, &w, &b);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn zero_epochs_is_a_no_op() {
+        let (features, labels) = separable_problem(9);
+        let mut w = vec![0.5f32; 24];
+        let mut b = vec![0.1f32; 3];
+        let (w0, b0) = (w.clone(), b.clone());
+        fit_softmax_regression(&features, &labels, 8, 3, &mut w, &mut b, 0, 0.5);
+        assert_eq!(w, w0);
+        assert_eq!(b, b0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 7 out of range")]
+    fn rejects_out_of_range_labels() {
+        let mut w = vec![0.0f32; 8 * 3];
+        let mut b = vec![0.0f32; 3];
+        fit_softmax_regression(&[vec![0.0; 8]], &[7], 8, 3, &mut w, &mut b, 1, 0.1);
+    }
+
+    #[test]
+    fn accuracy_of_empty_set_is_zero() {
+        assert_eq!(readout_accuracy(&[], &[], 4, 2, &[0.0; 8], &[0.0; 2]), 0.0);
+    }
+}

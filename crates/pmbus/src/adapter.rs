@@ -1,0 +1,293 @@
+//! Host-side PMBus adapter.
+//!
+//! Mirrors the role of the USB-to-PMBus dongle plus vendor API the paper
+//! used: typed get/set operations that handle wire encodings (querying
+//! `VOUT_MODE` for the LINEAR16 exponent), with a transaction log for
+//! auditability — each experiment's full bus traffic can be inspected.
+
+use crate::command::CommandCode;
+use crate::device::PmbusTarget;
+use crate::linear;
+use crate::PmbusError;
+
+/// Direction of a logged transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Host wrote to a device.
+    Write,
+    /// Host read from a device.
+    Read,
+}
+
+/// One logged bus transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transaction {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// 7-bit device address.
+    pub address: u8,
+    /// Command code.
+    pub command: CommandCode,
+    /// Transfer direction.
+    pub direction: Direction,
+    /// Raw wire word (the value written, or the value read back).
+    pub word: u16,
+    /// Whether the device acknowledged the transaction.
+    pub ok: bool,
+}
+
+/// Typed host adapter with a transaction log.
+///
+/// # Examples
+///
+/// ```
+/// use redvolt_pmbus::adapter::PmbusAdapter;
+/// use redvolt_pmbus::device::SimpleRegulator;
+///
+/// # fn main() -> Result<(), redvolt_pmbus::PmbusError> {
+/// let mut rail = SimpleRegulator::new(0x13, 0.85);
+/// let mut host = PmbusAdapter::new();
+/// host.set_vout(&mut rail, 0x13, 0.6)?;
+/// assert_eq!(host.log().len(), 2); // VOUT_MODE read + VOUT_COMMAND write
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct PmbusAdapter {
+    log: Vec<Transaction>,
+    seq: u64,
+}
+
+impl PmbusAdapter {
+    /// Creates an adapter with an empty log.
+    pub fn new() -> Self {
+        PmbusAdapter::default()
+    }
+
+    /// The transaction log so far.
+    pub fn log(&self) -> &[Transaction] {
+        &self.log
+    }
+
+    /// Clears the transaction log.
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+
+    fn record(&mut self, address: u8, command: CommandCode, dir: Direction, word: u16, ok: bool) {
+        self.log.push(Transaction {
+            seq: self.seq,
+            address,
+            command,
+            direction: dir,
+            word,
+            ok,
+        });
+        self.seq += 1;
+    }
+
+    /// Raw word write with logging.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PmbusError`] from the target.
+    pub fn write_word<T: PmbusTarget>(
+        &mut self,
+        target: &mut T,
+        address: u8,
+        command: CommandCode,
+        word: u16,
+    ) -> Result<(), PmbusError> {
+        let result = target.write_word(address, command, word);
+        self.record(address, command, Direction::Write, word, result.is_ok());
+        result
+    }
+
+    /// Raw word read with logging.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PmbusError`] from the target.
+    pub fn read_word<T: PmbusTarget>(
+        &mut self,
+        target: &mut T,
+        address: u8,
+        command: CommandCode,
+    ) -> Result<u16, PmbusError> {
+        let result = target.read_word(address, command);
+        let word = *result.as_ref().unwrap_or(&0);
+        self.record(address, command, Direction::Read, word, result.is_ok());
+        result
+    }
+
+    fn vout_exponent<T: PmbusTarget>(
+        &mut self,
+        target: &mut T,
+        address: u8,
+    ) -> Result<i8, PmbusError> {
+        let mode = self.read_word(target, address, CommandCode::VoutMode)?;
+        Ok(linear::vout_mode_exponent(mode as u8))
+    }
+
+    /// Commands the output voltage of the rail at `address`, in volts.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is absent/hung, the value is unencodable, or the
+    /// device rejects it (outside its UV/OV window).
+    pub fn set_vout<T: PmbusTarget>(
+        &mut self,
+        target: &mut T,
+        address: u8,
+        volts: f64,
+    ) -> Result<(), PmbusError> {
+        let exp = self.vout_exponent(target, address)?;
+        let word = linear::linear16_encode(volts, exp)?;
+        self.write_word(target, address, CommandCode::VoutCommand, word)
+    }
+
+    /// Reads the measured output voltage of the rail at `address`, in volts.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is absent or hung.
+    pub fn read_vout<T: PmbusTarget>(
+        &mut self,
+        target: &mut T,
+        address: u8,
+    ) -> Result<f64, PmbusError> {
+        let exp = self.vout_exponent(target, address)?;
+        let word = self.read_word(target, address, CommandCode::ReadVout)?;
+        Ok(linear::linear16_decode(word, exp))
+    }
+
+    /// Reads measured output power in watts.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is absent or hung.
+    pub fn read_pout<T: PmbusTarget>(
+        &mut self,
+        target: &mut T,
+        address: u8,
+    ) -> Result<f64, PmbusError> {
+        let word = self.read_word(target, address, CommandCode::ReadPout)?;
+        Ok(linear::linear11_decode(word))
+    }
+
+    /// Reads measured output current in amps.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is absent or hung.
+    pub fn read_iout<T: PmbusTarget>(
+        &mut self,
+        target: &mut T,
+        address: u8,
+    ) -> Result<f64, PmbusError> {
+        let word = self.read_word(target, address, CommandCode::ReadIout)?;
+        Ok(linear::linear11_decode(word))
+    }
+
+    /// Reads the device temperature sensor in °C.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is absent or hung.
+    pub fn read_temperature<T: PmbusTarget>(
+        &mut self,
+        target: &mut T,
+        address: u8,
+    ) -> Result<f64, PmbusError> {
+        let word = self.read_word(target, address, CommandCode::ReadTemperature1)?;
+        Ok(linear::linear11_decode(word))
+    }
+
+    /// Commands the fan duty cycle in percent (the paper's temperature
+    /// regulation knob).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is absent/hung or does not control a fan.
+    pub fn set_fan_percent<T: PmbusTarget>(
+        &mut self,
+        target: &mut T,
+        address: u8,
+        percent: f64,
+    ) -> Result<(), PmbusError> {
+        if !(0.0..=100.0).contains(&percent) {
+            return Err(PmbusError::Unencodable {
+                reason: format!("fan duty {percent}% outside 0..=100"),
+            });
+        }
+        let word = linear::linear11_encode(percent)?;
+        self.write_word(target, address, CommandCode::FanCommand1, word)
+    }
+
+    /// Reads the latched status byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is absent or hung.
+    pub fn read_status<T: PmbusTarget>(
+        &mut self,
+        target: &mut T,
+        address: u8,
+    ) -> Result<u8, PmbusError> {
+        Ok(self.read_word(target, address, CommandCode::StatusByte)? as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SimpleRegulator;
+
+    #[test]
+    fn set_and_read_vout_round_trip() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        let mut host = PmbusAdapter::new();
+        host.set_vout(&mut reg, 0x13, 0.570).unwrap();
+        let v = host.read_vout(&mut reg, 0x13).unwrap();
+        assert!((v - 0.570).abs() < 1e-3);
+    }
+
+    #[test]
+    fn log_records_failures_too() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        let mut host = PmbusAdapter::new();
+        assert!(host.read_vout(&mut reg, 0x42).is_err());
+        assert!(host.log().iter().any(|t| !t.ok && t.address == 0x42));
+    }
+
+    #[test]
+    fn log_sequence_is_monotone() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        let mut host = PmbusAdapter::new();
+        for _ in 0..5 {
+            host.read_pout(&mut reg, 0x13).unwrap();
+        }
+        let seqs: Vec<u64> = host.log().iter().map(|t| t.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn fan_duty_validation() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        let mut host = PmbusAdapter::new();
+        assert!(matches!(
+            host.set_fan_percent(&mut reg, 0x13, 150.0),
+            Err(PmbusError::Unencodable { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_log_empties() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        let mut host = PmbusAdapter::new();
+        host.read_pout(&mut reg, 0x13).unwrap();
+        assert!(!host.log().is_empty());
+        host.clear_log();
+        assert!(host.log().is_empty());
+    }
+}

@@ -1,0 +1,286 @@
+//! The bus-target abstraction and a reference regulator device.
+//!
+//! Anything that answers PMBus transactions implements [`PmbusTarget`]. The
+//! ZCU102 board simulator in `redvolt-fpga` implements it by routing
+//! addresses to its internal regulators and sensors; [`SimpleRegulator`] is
+//! a self-contained single-rail device used by protocol tests and examples.
+
+use crate::command::{status, Access, CommandCode};
+use crate::linear;
+use crate::PmbusError;
+
+/// A system of one or more PMBus-addressable devices.
+///
+/// Word payloads are raw wire words; interpretation (LINEAR11/LINEAR16) is
+/// the host adapter's job, exactly as on real hardware.
+pub trait PmbusTarget {
+    /// Handles a word write to `(address, command)`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`PmbusError`] variants for unknown addresses,
+    /// unsupported or read-only commands, out-of-range values, and hung
+    /// devices.
+    fn write_word(&mut self, address: u8, command: CommandCode, word: u16)
+        -> Result<(), PmbusError>;
+
+    /// Handles a word read from `(address, command)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PmbusTarget::write_word`].
+    fn read_word(&mut self, address: u8, command: CommandCode) -> Result<u16, PmbusError>;
+}
+
+/// A standalone single-rail voltage regulator with ideal telemetry.
+///
+/// Models the essentials of a MAX-style point-of-load regulator: a
+/// commanded output voltage with slew, a fixed resistive load for telemetry,
+/// and UV/OV fault limits. The full board model in `redvolt-fpga` supplies
+/// physically calibrated telemetry instead; this device exists so the
+/// protocol layer can be developed and tested in isolation.
+///
+/// # Examples
+///
+/// ```
+/// use redvolt_pmbus::command::CommandCode;
+/// use redvolt_pmbus::device::{PmbusTarget, SimpleRegulator};
+/// use redvolt_pmbus::linear;
+///
+/// # fn main() -> Result<(), redvolt_pmbus::PmbusError> {
+/// let mut reg = SimpleRegulator::new(0x13, 0.85);
+/// let mode = reg.read_word(0x13, CommandCode::VoutMode)? as u8;
+/// let exp = linear::vout_mode_exponent(mode);
+/// let word = linear::linear16_encode(0.6, exp)?;
+/// reg.write_word(0x13, CommandCode::VoutCommand, word)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimpleRegulator {
+    address: u8,
+    vout_mode_exp: i8,
+    vout_command_v: f64,
+    vout_v: f64,
+    uv_limit_v: f64,
+    ov_limit_v: f64,
+    load_ohms: f64,
+    status: u8,
+    hung: bool,
+}
+
+impl SimpleRegulator {
+    /// Creates a regulator at `address` commanding `vout_v` volts.
+    pub fn new(address: u8, vout_v: f64) -> Self {
+        SimpleRegulator {
+            address,
+            vout_mode_exp: -12,
+            vout_command_v: vout_v,
+            vout_v,
+            uv_limit_v: 0.0,
+            ov_limit_v: 2.0,
+            load_ohms: 0.1,
+            status: 0,
+            hung: false,
+        }
+    }
+
+    /// Sets the resistive load used for current/power telemetry.
+    pub fn with_load_ohms(mut self, ohms: f64) -> Self {
+        self.load_ohms = ohms;
+        self
+    }
+
+    /// Current output voltage in volts.
+    pub fn vout(&self) -> f64 {
+        self.vout_v
+    }
+
+    /// Marks the device as hung; all subsequent transactions fail with
+    /// [`PmbusError::DeviceHung`] until [`SimpleRegulator::reset`].
+    pub fn hang(&mut self) {
+        self.hung = true;
+        self.status |= status::CML;
+    }
+
+    /// Clears the hung state and latched faults (power cycle).
+    pub fn reset(&mut self) {
+        self.hung = false;
+        self.status = 0;
+    }
+
+    fn check(&self, address: u8, command: CommandCode) -> Result<(), PmbusError> {
+        if address != self.address {
+            return Err(PmbusError::NoDevice { address });
+        }
+        if self.hung {
+            return Err(PmbusError::DeviceHung { address });
+        }
+        let _ = command;
+        Ok(())
+    }
+}
+
+impl PmbusTarget for SimpleRegulator {
+    fn write_word(
+        &mut self,
+        address: u8,
+        command: CommandCode,
+        word: u16,
+    ) -> Result<(), PmbusError> {
+        self.check(address, command)?;
+        if command.access() == Access::ReadOnly {
+            return Err(PmbusError::UnsupportedCommand {
+                address,
+                command: command.raw(),
+            });
+        }
+        match command {
+            CommandCode::VoutCommand => {
+                let v = linear::linear16_decode(word, self.vout_mode_exp);
+                if v > self.ov_limit_v {
+                    self.status |= status::VOUT_OV;
+                    return Err(PmbusError::Rejected {
+                        reason: format!("{v} V above OV limit {} V", self.ov_limit_v),
+                    });
+                }
+                if v < self.uv_limit_v {
+                    self.status |= status::VOUT_UV;
+                    return Err(PmbusError::Rejected {
+                        reason: format!("{v} V below UV limit {} V", self.uv_limit_v),
+                    });
+                }
+                self.vout_command_v = v;
+                self.vout_v = v;
+                Ok(())
+            }
+            CommandCode::VoutOvFaultLimit => {
+                self.ov_limit_v = linear::linear16_decode(word, self.vout_mode_exp);
+                Ok(())
+            }
+            CommandCode::VoutUvFaultLimit => {
+                self.uv_limit_v = linear::linear16_decode(word, self.vout_mode_exp);
+                Ok(())
+            }
+            CommandCode::Page | CommandCode::Operation | CommandCode::FanConfig12 => Ok(()),
+            CommandCode::VoutMode => Err(PmbusError::Rejected {
+                reason: "VOUT_MODE is factory-fixed on this device".to_string(),
+            }),
+            CommandCode::FanCommand1 => Err(PmbusError::UnsupportedCommand {
+                address,
+                command: command.raw(),
+            }),
+            _ => Err(PmbusError::UnsupportedCommand {
+                address,
+                command: command.raw(),
+            }),
+        }
+    }
+
+    fn read_word(&mut self, address: u8, command: CommandCode) -> Result<u16, PmbusError> {
+        self.check(address, command)?;
+        match command {
+            CommandCode::VoutMode => {
+                Ok(u16::from(linear::vout_mode_from_exponent(self.vout_mode_exp)))
+            }
+            CommandCode::VoutCommand => {
+                linear::linear16_encode(self.vout_command_v, self.vout_mode_exp)
+            }
+            CommandCode::ReadVout => linear::linear16_encode(self.vout_v, self.vout_mode_exp),
+            CommandCode::ReadIout => linear::linear11_encode(self.vout_v / self.load_ohms),
+            CommandCode::ReadPout => {
+                linear::linear11_encode(self.vout_v * self.vout_v / self.load_ohms)
+            }
+            CommandCode::ReadVin => linear::linear11_encode(12.0),
+            CommandCode::ReadIin => {
+                // Ideal converter: input power equals output power at 12 V in.
+                linear::linear11_encode(self.vout_v * self.vout_v / self.load_ohms / 12.0)
+            }
+            CommandCode::ReadTemperature1 => linear::linear11_encode(35.0),
+            CommandCode::StatusByte => Ok(u16::from(self.status)),
+            CommandCode::VoutOvFaultLimit => {
+                linear::linear16_encode(self.ov_limit_v, self.vout_mode_exp)
+            }
+            CommandCode::VoutUvFaultLimit => {
+                linear::linear16_encode(self.uv_limit_v, self.vout_mode_exp)
+            }
+            _ => Err(PmbusError::UnsupportedCommand {
+                address,
+                command: command.raw(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrong_address_is_no_device() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        let err = reg.read_word(0x20, CommandCode::ReadVout).unwrap_err();
+        assert_eq!(err, PmbusError::NoDevice { address: 0x20 });
+    }
+
+    #[test]
+    fn vout_command_round_trips() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        let word = linear::linear16_encode(0.570, -12).unwrap();
+        reg.write_word(0x13, CommandCode::VoutCommand, word).unwrap();
+        let back =
+            linear::linear16_decode(reg.read_word(0x13, CommandCode::ReadVout).unwrap(), -12);
+        assert!((back - 0.570).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ov_limit_rejects_and_latches_status() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        let word = linear::linear16_encode(3.0, -12).unwrap();
+        assert!(matches!(
+            reg.write_word(0x13, CommandCode::VoutCommand, word),
+            Err(PmbusError::Rejected { .. })
+        ));
+        let st = reg.read_word(0x13, CommandCode::StatusByte).unwrap() as u8;
+        assert_ne!(st & status::VOUT_OV, 0);
+        // Voltage unchanged.
+        assert!((reg.vout() - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_only_commands_refuse_writes() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        assert!(matches!(
+            reg.write_word(0x13, CommandCode::ReadPout, 0),
+            Err(PmbusError::UnsupportedCommand { .. })
+        ));
+    }
+
+    #[test]
+    fn power_telemetry_follows_square_law() {
+        let mut reg = SimpleRegulator::new(0x13, 0.8).with_load_ohms(0.05);
+        let p = linear::linear11_decode(reg.read_word(0x13, CommandCode::ReadPout).unwrap());
+        assert!((p - 0.8 * 0.8 / 0.05).abs() < 0.05);
+    }
+
+    #[test]
+    fn hang_blocks_until_reset() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        reg.hang();
+        assert!(matches!(
+            reg.read_word(0x13, CommandCode::ReadVout),
+            Err(PmbusError::DeviceHung { .. })
+        ));
+        reg.reset();
+        assert!(reg.read_word(0x13, CommandCode::ReadVout).is_ok());
+    }
+
+    #[test]
+    fn vout_mode_is_factory_fixed() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        assert!(matches!(
+            reg.write_word(0x13, CommandCode::VoutMode, 0x10),
+            Err(PmbusError::Rejected { .. })
+        ));
+    }
+}

@@ -1,0 +1,190 @@
+//! PMBus wire-format number encodings.
+//!
+//! PMBus transports real-valued quantities in two compact formats:
+//!
+//! * **LINEAR11** — one 16-bit word holding a 5-bit two's-complement
+//!   exponent `N` and an 11-bit two's-complement mantissa `Y`, representing
+//!   `Y · 2^N`. Used for currents, power, temperature and fan speed.
+//! * **LINEAR16** — a 16-bit unsigned mantissa whose exponent comes from
+//!   the `VOUT_MODE` register of the device. Used for output voltages.
+//!
+//! Encoders pick the exponent that maximizes mantissa resolution.
+
+use crate::PmbusError;
+
+/// Maximum positive LINEAR11 mantissa (11-bit two's complement).
+const L11_MANT_MAX: i32 = 1023;
+/// Minimum negative LINEAR11 mantissa.
+const L11_MANT_MIN: i32 = -1024;
+
+/// Encodes `value` as a LINEAR11 word.
+///
+/// Chooses the smallest exponent (finest resolution) whose mantissa still
+/// fits in 11 bits.
+///
+/// # Errors
+///
+/// Returns [`PmbusError::Unencodable`] for non-finite inputs or magnitudes
+/// beyond `1023 · 2^15`.
+///
+/// # Examples
+///
+/// ```
+/// use redvolt_pmbus::linear::{linear11_encode, linear11_decode};
+///
+/// # fn main() -> Result<(), redvolt_pmbus::PmbusError> {
+/// let word = linear11_encode(12.59)?;
+/// assert!((linear11_decode(word) - 12.59).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn linear11_encode(value: f64) -> Result<u16, PmbusError> {
+    if !value.is_finite() {
+        return Err(PmbusError::Unencodable {
+            reason: format!("LINEAR11 cannot represent {value}"),
+        });
+    }
+    // Search exponents from finest (-16) to coarsest (15).
+    for exp in -16i32..=15 {
+        let mant = (value / f64::powi(2.0, exp)).round();
+        if mant >= f64::from(L11_MANT_MIN) && mant <= f64::from(L11_MANT_MAX) {
+            let mant = mant as i32;
+            let exp_bits = ((exp as u16) & 0x1F) << 11;
+            let mant_bits = (mant as u16) & 0x07FF;
+            return Ok(exp_bits | mant_bits);
+        }
+    }
+    Err(PmbusError::Unencodable {
+        reason: format!("{value} exceeds LINEAR11 range"),
+    })
+}
+
+/// Decodes a LINEAR11 word into its real value.
+pub fn linear11_decode(word: u16) -> f64 {
+    // Sign-extend the 5-bit exponent and the 11-bit mantissa.
+    let exp = ((word >> 11) as i8) << 3 >> 3;
+    let mant = ((word & 0x07FF) as i16) << 5 >> 5;
+    f64::from(mant) * f64::powi(2.0, i32::from(exp))
+}
+
+/// Encodes `value` as a LINEAR16 mantissa under the given `VOUT_MODE`
+/// exponent (a 5-bit two's-complement number; regulators in this workspace
+/// use −12, i.e. 1/4096 V resolution).
+///
+/// # Errors
+///
+/// Returns [`PmbusError::Unencodable`] for negative, non-finite, or
+/// out-of-range values (the mantissa is unsigned 16-bit).
+pub fn linear16_encode(value: f64, vout_mode_exp: i8) -> Result<u16, PmbusError> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(PmbusError::Unencodable {
+            reason: format!("LINEAR16 cannot represent {value}"),
+        });
+    }
+    let mant = (value / f64::powi(2.0, i32::from(vout_mode_exp))).round();
+    if mant > f64::from(u16::MAX) {
+        return Err(PmbusError::Unencodable {
+            reason: format!("{value} exceeds LINEAR16 range at exponent {vout_mode_exp}"),
+        });
+    }
+    Ok(mant as u16)
+}
+
+/// Decodes a LINEAR16 mantissa under the given `VOUT_MODE` exponent.
+pub fn linear16_decode(mantissa: u16, vout_mode_exp: i8) -> f64 {
+    f64::from(mantissa) * f64::powi(2.0, i32::from(vout_mode_exp))
+}
+
+/// Extracts the two's-complement exponent from a `VOUT_MODE` register value
+/// (linear mode: top three bits 000, low five bits the exponent).
+pub fn vout_mode_exponent(vout_mode: u8) -> i8 {
+    ((vout_mode & 0x1F) as i8) << 3 >> 3
+}
+
+/// Builds a linear-mode `VOUT_MODE` register value from an exponent.
+///
+/// # Panics
+///
+/// Panics if `exp` is outside the representable −16..=15 range.
+pub fn vout_mode_from_exponent(exp: i8) -> u8 {
+    assert!((-16..=15).contains(&exp), "VOUT_MODE exponent out of range");
+    (exp as u8) & 0x1F
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear11_round_trips_typical_telemetry() {
+        // Power in watts, temperature in Celsius, current in amps.
+        for &v in &[12.59, 0.0, 4.84, 34.0, 52.0, 14.8, -3.5, 0.015, 3000.0] {
+            let word = linear11_encode(v).unwrap();
+            let back = linear11_decode(word);
+            let tol = (v.abs() * 1e-3).max(1e-3);
+            assert!((back - v).abs() <= tol, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn linear11_zero_is_zero_word() {
+        assert_eq!(linear11_encode(0.0).unwrap() & 0x07FF, 0);
+        assert_eq!(linear11_decode(0), 0.0);
+    }
+
+    #[test]
+    fn linear11_rejects_nonfinite_and_huge() {
+        assert!(linear11_encode(f64::NAN).is_err());
+        assert!(linear11_encode(f64::INFINITY).is_err());
+        assert!(linear11_encode(1e12).is_err());
+    }
+
+    #[test]
+    fn linear11_negative_values() {
+        let word = linear11_encode(-40.0).unwrap();
+        assert!((linear11_decode(word) + 40.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn linear11_known_encoding() {
+        // Mantissa 1, exponent 0 => 1.0.
+        assert_eq!(linear11_decode(0x0001), 1.0);
+        // Mantissa 1, exponent 1 (00001 << 11) => 2.0.
+        assert_eq!(linear11_decode(0x0801), 2.0);
+        // Exponent -1 (11111 << 11), mantissa 1 => 0.5.
+        assert_eq!(linear11_decode(0xF801), 0.5);
+    }
+
+    #[test]
+    fn linear16_round_trips_rail_voltages() {
+        // 1 mV steps over the paper's full sweep range at exponent -12.
+        let mut mv = 500;
+        while mv <= 900 {
+            let v = f64::from(mv) / 1000.0;
+            let m = linear16_encode(v, -12).unwrap();
+            let back = linear16_decode(m, -12);
+            assert!((back - v).abs() < 2.0 / 4096.0, "{v} -> {back}");
+            mv += 1;
+        }
+    }
+
+    #[test]
+    fn linear16_rejects_negative() {
+        assert!(linear16_encode(-0.1, -12).is_err());
+        assert!(linear16_encode(f64::NAN, -12).is_err());
+        assert!(linear16_encode(17.0, -12).is_err());
+    }
+
+    #[test]
+    fn vout_mode_round_trips() {
+        for exp in -16i8..=15 {
+            assert_eq!(vout_mode_exponent(vout_mode_from_exponent(exp)), exp);
+        }
+    }
+
+    #[test]
+    fn vout_mode_decodes_standard_minus_twelve() {
+        // 0x14 is the common "linear, exponent -12" VOUT_MODE byte.
+        assert_eq!(vout_mode_exponent(0x14), -12);
+    }
+}

@@ -1,0 +1,185 @@
+//! Bus composition and discovery utilities.
+//!
+//! A real bench has several PMBus devices behind one adapter (the ZCU102
+//! carries three regulators plus the system controller). [`BusMux`] glues
+//! independently-implemented [`PmbusTarget`]s into one bus, first match
+//! wins; [`scan`] probes an address range the way `i2cdetect` does, which
+//! is how a measurement script discovers which rails answer.
+
+use crate::command::CommandCode;
+use crate::device::PmbusTarget;
+use crate::PmbusError;
+
+/// A bus multiplexer: routes each transaction to the first segment that
+/// acknowledges the address.
+///
+/// # Examples
+///
+/// ```
+/// use redvolt_pmbus::device::{PmbusTarget, SimpleRegulator};
+/// use redvolt_pmbus::mux::BusMux;
+/// use redvolt_pmbus::command::CommandCode;
+///
+/// let mut bus = BusMux::new();
+/// bus.attach(Box::new(SimpleRegulator::new(0x13, 0.85)));
+/// bus.attach(Box::new(SimpleRegulator::new(0x14, 0.85)));
+/// assert!(bus.read_word(0x13, CommandCode::ReadVout).is_ok());
+/// assert!(bus.read_word(0x14, CommandCode::ReadVout).is_ok());
+/// assert!(bus.read_word(0x42, CommandCode::ReadVout).is_err());
+/// ```
+#[derive(Default)]
+pub struct BusMux {
+    segments: Vec<Box<dyn PmbusTarget>>,
+}
+
+impl std::fmt::Debug for BusMux {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BusMux({} segments)", self.segments.len())
+    }
+}
+
+impl BusMux {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        BusMux::default()
+    }
+
+    /// Attaches a segment (device or sub-bus). Segments are probed in
+    /// attachment order.
+    pub fn attach(&mut self, segment: Box<dyn PmbusTarget>) -> &mut Self {
+        self.segments.push(segment);
+        self
+    }
+
+    /// Number of attached segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the bus has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+impl PmbusTarget for BusMux {
+    fn write_word(
+        &mut self,
+        address: u8,
+        command: CommandCode,
+        word: u16,
+    ) -> Result<(), PmbusError> {
+        for segment in &mut self.segments {
+            match segment.write_word(address, command, word) {
+                Err(PmbusError::NoDevice { .. }) => continue,
+                other => return other,
+            }
+        }
+        Err(PmbusError::NoDevice { address })
+    }
+
+    fn read_word(&mut self, address: u8, command: CommandCode) -> Result<u16, PmbusError> {
+        for segment in &mut self.segments {
+            match segment.read_word(address, command) {
+                Err(PmbusError::NoDevice { .. }) => continue,
+                other => return other,
+            }
+        }
+        Err(PmbusError::NoDevice { address })
+    }
+}
+
+/// Probes every address in `range` with a benign read (`VOUT_MODE`, then
+/// `STATUS_BYTE`, then `READ_TEMPERATURE_1`) and returns the addresses
+/// that acknowledged — the `i2cdetect` flow of a measurement script.
+///
+/// Hung devices *are* reported (they acknowledge at the transport level in
+/// this model: the error is device-specific, not "no device").
+pub fn scan<T: PmbusTarget>(target: &mut T, range: std::ops::RangeInclusive<u8>) -> Vec<u8> {
+    let probes = [
+        CommandCode::VoutMode,
+        CommandCode::StatusByte,
+        CommandCode::ReadTemperature1,
+    ];
+    let mut found = Vec::new();
+    for address in range {
+        let acked = probes.iter().any(|&cmd| {
+            !matches!(
+                target.read_word(address, cmd),
+                Err(PmbusError::NoDevice { .. })
+            )
+        });
+        if acked {
+            found.push(address);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SimpleRegulator;
+    use crate::linear;
+
+    fn two_rail_bus() -> BusMux {
+        let mut bus = BusMux::new();
+        bus.attach(Box::new(SimpleRegulator::new(0x13, 0.85)));
+        bus.attach(Box::new(SimpleRegulator::new(0x14, 0.85)));
+        bus
+    }
+
+    #[test]
+    fn routes_to_the_right_segment() {
+        let mut bus = two_rail_bus();
+        let w = linear::linear16_encode(0.6, -12).unwrap();
+        bus.write_word(0x13, CommandCode::VoutCommand, w).unwrap();
+        let v13 =
+            linear::linear16_decode(bus.read_word(0x13, CommandCode::ReadVout).unwrap(), -12);
+        let v14 =
+            linear::linear16_decode(bus.read_word(0x14, CommandCode::ReadVout).unwrap(), -12);
+        assert!((v13 - 0.6).abs() < 1e-3);
+        assert!((v14 - 0.85).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unknown_address_is_no_device() {
+        let mut bus = two_rail_bus();
+        assert!(matches!(
+            bus.read_word(0x42, CommandCode::ReadVout),
+            Err(PmbusError::NoDevice { address: 0x42 })
+        ));
+    }
+
+    #[test]
+    fn device_errors_pass_through_unchanged() {
+        let mut bus = two_rail_bus();
+        // Read-only command written: the owning device's error, not NoDevice.
+        assert!(matches!(
+            bus.write_word(0x14, CommandCode::ReadPout, 0),
+            Err(PmbusError::UnsupportedCommand { address: 0x14, .. })
+        ));
+    }
+
+    #[test]
+    fn scan_finds_exactly_the_attached_devices() {
+        let mut bus = two_rail_bus();
+        assert_eq!(scan(&mut bus, 0x00..=0x7F), vec![0x13, 0x14]);
+    }
+
+    #[test]
+    fn scan_reports_hung_devices() {
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        reg.hang();
+        let mut bus = BusMux::new();
+        bus.attach(Box::new(reg));
+        assert_eq!(scan(&mut bus, 0x10..=0x20), vec![0x13]);
+    }
+
+    #[test]
+    fn empty_bus_scans_empty() {
+        let mut bus = BusMux::new();
+        assert!(bus.is_empty());
+        assert!(scan(&mut bus, 0x00..=0x7F).is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests for the PMBus wire encodings and devices.
+
+use proptest::prelude::*;
+use redvolt_pmbus::adapter::PmbusAdapter;
+use redvolt_pmbus::device::SimpleRegulator;
+use redvolt_pmbus::linear;
+
+proptest! {
+    #[test]
+    fn linear11_round_trip_relative_error(v in -3000.0f64..3000.0) {
+        let word = linear::linear11_encode(v).unwrap();
+        let back = linear::linear11_decode(word);
+        // Encoder picks the finest exponent, so the mantissa is at least
+        // 512 in magnitude: error ≤ step/2 ≤ |v|/1024 (plus an absolute
+        // floor near zero where the smallest exponent binds).
+        let tol = (v.abs() / 1024.0).max(0.5) + 1e-9;
+        prop_assert!((back - v).abs() <= tol, "{v} -> {back}");
+    }
+
+    #[test]
+    fn linear11_decode_encode_decode_is_stable(word in any::<u16>()) {
+        let v = linear::linear11_decode(word);
+        let re = linear::linear11_encode(v).unwrap();
+        prop_assert_eq!(linear::linear11_decode(re), v);
+    }
+
+    #[test]
+    fn linear16_round_trip_at_standard_exponent(mv in 0u32..4000) {
+        let v = f64::from(mv) / 1000.0;
+        let m = linear::linear16_encode(v, -12).unwrap();
+        let back = linear::linear16_decode(m, -12);
+        prop_assert!((back - v).abs() <= 0.5 / 4096.0 + 1e-12);
+    }
+
+    #[test]
+    fn vout_mode_round_trips(exp in -16i8..=15) {
+        prop_assert_eq!(
+            linear::vout_mode_exponent(linear::vout_mode_from_exponent(exp)),
+            exp
+        );
+    }
+
+    #[test]
+    fn regulator_accepts_any_in_window_voltage(mv in 100u32..1900) {
+        let v = f64::from(mv) / 1000.0;
+        let mut reg = SimpleRegulator::new(0x13, 0.85);
+        let mut host = PmbusAdapter::new();
+        host.set_vout(&mut reg, 0x13, v).unwrap();
+        let back = host.read_vout(&mut reg, 0x13).unwrap();
+        prop_assert!((back - v).abs() < 1e-3, "{v} -> {back}");
+    }
+
+    #[test]
+    fn power_telemetry_is_consistent_with_v_and_i(mv in 200u32..1500) {
+        let v = f64::from(mv) / 1000.0;
+        let mut reg = SimpleRegulator::new(0x13, v).with_load_ohms(0.2);
+        let mut host = PmbusAdapter::new();
+        let p = host.read_pout(&mut reg, 0x13).unwrap();
+        let i = host.read_iout(&mut reg, 0x13).unwrap();
+        let vv = host.read_vout(&mut reg, 0x13).unwrap();
+        // P ≈ V * I within LINEAR11 quantization.
+        prop_assert!((p - vv * i).abs() <= 0.02 * p.abs().max(0.1), "P={p} V*I={}", vv * i);
+    }
+}

@@ -1,0 +1,57 @@
+//! Reproduces the paper's §5 / Table-2 flow: below the guardband, rescue
+//! accuracy by underscaling the DPU clock, and compare the GOPs/W vs
+//! GOPs/J trade-off of each safe (V, F) point.
+//!
+//! ```text
+//! cargo run --release --example frequency_rescue
+//! ```
+
+use redvolt::core::bench_suite::BenchmarkId;
+use redvolt::core::experiment::{Accelerator, AcceleratorConfig};
+use redvolt::core::freqscale::{frequency_underscaling, FreqScaleConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut acc = Accelerator::bring_up(&AcceleratorConfig {
+        benchmark: BenchmarkId::VggNet,
+        eval_images: 100,
+        repetitions: 5,
+        ..AcceleratorConfig::default()
+    })?;
+
+    // First, show the problem: at 545 mV and full clock, accuracy dies.
+    acc.set_vccint_mv(545.0)?;
+    let broken = acc.measure(100)?;
+    println!(
+        "545 mV @ 333 MHz: accuracy {:.1}% ({} faults injected)",
+        broken.accuracy * 100.0,
+        broken.injected_faults
+    );
+
+    // Then run the paper's search: per voltage, the largest safe clock.
+    acc.power_cycle();
+    let rows = frequency_underscaling(
+        &mut acc,
+        &FreqScaleConfig {
+            images: 100,
+            ..FreqScaleConfig::default()
+        },
+    )?;
+
+    println!("\n{:>7} {:>6} {:>6} {:>7} {:>7} {:>7}", "VCCINT", "Fmax", "GOPs", "Power", "GOPs/W", "GOPs/J");
+    for r in &rows {
+        println!(
+            "{:>5.0}mV {:>6.0} {:>6.2} {:>7.2} {:>7.2} {:>7.2}",
+            r.vccint_mv, r.fmax_mhz, r.gops_norm, r.power_norm, r.gops_per_w_norm, r.gops_per_j_norm
+        );
+    }
+    let best_j = rows
+        .iter()
+        .max_by(|a, b| a.gops_per_j_norm.total_cmp(&b.gops_per_j_norm))
+        .expect("non-empty table");
+    println!(
+        "\nbest GOPs/J at ({:.0} mV, {:.0} MHz) — the paper's conclusion: \
+         stay at (Vmin, Fmax); underscale only for GOPs/W",
+        best_j.vccint_mv, best_j.fmax_mhz
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Reproduces the paper's Fig. 7 flow: combine undervolting with INT8..4
+//! quantization on VGGNet and observe the efficiency/vulnerability
+//! trade-off.
+//!
+//! ```text
+//! cargo run --release --example quantization_sweep
+//! ```
+
+use redvolt::core::bench_suite::BenchmarkId;
+use redvolt::core::experiment::AcceleratorConfig;
+use redvolt::core::quantexp::{quantization_study, FIG7_PRECISIONS};
+use redvolt::core::sweep::SweepConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = quantization_study(
+        &AcceleratorConfig {
+            benchmark: BenchmarkId::VggNet,
+            eval_images: 100,
+            repetitions: 5,
+            ..AcceleratorConfig::default()
+        },
+        &FIG7_PRECISIONS,
+        &SweepConfig {
+            start_mv: 850.0,
+            stop_mv: 535.0,
+            step_mv: 5.0,
+            images: 100,
+        },
+    )?;
+
+    println!("accuracy (top) and GOPs/W (bottom) per precision and voltage\n");
+    print!("{:>7}", "mV");
+    for bits in FIG7_PRECISIONS {
+        print!(" {:>9}", format!("INT{bits}"));
+    }
+    println!();
+    for &mv in &[850.0, 700.0, 570.0, 560.0, 550.0, 540.0] {
+        print!("{mv:>7.0}");
+        for bits in FIG7_PRECISIONS {
+            let cell = study
+                .at_bits(bits)
+                .and_then(|c| c.sweep.at_mv(mv))
+                .map(|m| format!("{:.1}%", m.accuracy * 100.0))
+                .unwrap_or_else(|| "crash".into());
+            print!(" {cell:>9}");
+        }
+        println!();
+    }
+    println!();
+    for &mv in &[850.0, 570.0, 540.0] {
+        print!("{mv:>7.0}");
+        for bits in FIG7_PRECISIONS {
+            let cell = study
+                .at_bits(bits)
+                .and_then(|c| c.sweep.at_mv(mv))
+                .map(|m| format!("{:.0}", m.gops_per_w))
+                .unwrap_or_else(|| "crash".into());
+            print!(" {cell:>9}");
+        }
+        println!("  GOPs/W");
+    }
+    println!(
+        "\nlower precision: higher GOPs/W at every voltage, but more accuracy\n\
+         loss from both quantization noise and undervolting faults (Fig. 7)."
+    );
+    Ok(())
+}

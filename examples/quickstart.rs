@@ -1,0 +1,66 @@
+//! Quickstart: bring up a simulated ZCU102, run CNN inference on the DPU,
+//! and undervolt the core rail over PMBus.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use redvolt::core::bench_suite::BenchmarkId;
+use redvolt::core::experiment::{Accelerator, AcceleratorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Board sample 0 with GoogleNet on the 3-core B4096 DPU at INT8.
+    let mut acc = Accelerator::bring_up(&AcceleratorConfig {
+        benchmark: BenchmarkId::GoogleNet,
+        ..AcceleratorConfig::default()
+    })?;
+
+    println!("GoogleNet on ZCU102 sample 0 (3x B4096 @ 333 MHz, INT8)\n");
+    println!("{:>8} {:>9} {:>8} {:>9} {:>7}", "VCCINT", "power W", "GOPs", "GOPs/W", "acc");
+
+    // Nominal operation.
+    let nominal = acc.measure(100)?;
+    print_point(&nominal);
+
+    // Eliminate the guardband: still fault-free, ~2.6x the efficiency.
+    acc.set_vccint_mv(570.0)?;
+    let vmin = acc.measure(100)?;
+    print_point(&vmin);
+
+    // Push into the critical region: efficiency keeps rising, accuracy pays.
+    for mv in [560.0, 550.0, 540.0] {
+        acc.set_vccint_mv(mv)?;
+        print_point(&acc.measure(100)?);
+    }
+
+    // One step further and the board hangs...
+    acc.set_vccint_mv(535.0)
+        .and_then(|()| acc.measure(100).map(|_| ()))
+        .expect_err("535 mV is below Vcrash");
+    println!("\n535 mV: board hung (Vcrash reached) — power-cycling");
+
+    // ...until we power-cycle it.
+    acc.power_cycle();
+    let recovered = acc.measure(100)?;
+    println!(
+        "after power cycle: {:.2} W at {:.0} mV, accuracy {:.1}%",
+        recovered.power_w,
+        recovered.vccint_mv,
+        recovered.accuracy * 100.0
+    );
+
+    let gain = vmin.gops_per_w / nominal.gops_per_w;
+    println!("\nguardband elimination gain: {gain:.2}x GOPs/W at zero accuracy cost");
+    Ok(())
+}
+
+fn print_point(m: &redvolt::core::experiment::Measurement) {
+    println!(
+        "{:>6.0}mV {:>9.2} {:>8.0} {:>9.1} {:>6.1}%",
+        m.vccint_mv,
+        m.power_w,
+        m.gops,
+        m.gops_per_w,
+        m.accuracy * 100.0
+    );
+}

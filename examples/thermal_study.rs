@@ -1,0 +1,78 @@
+//! Reproduces the paper's §7 flow: regulate the board temperature through
+//! the PMBus fan interface and measure the power (Fig. 9) and reliability
+//! (Fig. 10 / inverse thermal dependence) effects.
+//!
+//! ```text
+//! cargo run --release --example thermal_study
+//! ```
+
+use redvolt::core::bench_suite::BenchmarkId;
+use redvolt::core::experiment::{Accelerator, AcceleratorConfig};
+use redvolt::core::sweep::SweepConfig;
+use redvolt::core::tempexp::{temperature_study, SETPOINTS_C};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // First show the physical fan loop the paper used: duty -> temperature.
+    let mut acc = Accelerator::bring_up(&AcceleratorConfig {
+        benchmark: BenchmarkId::GoogleNet,
+        ..AcceleratorConfig::default()
+    })?;
+    acc.measure(32)?; // publish the running load
+    println!("fan duty -> junction temperature (PMBus loop):");
+    for duty in [100.0, 50.0, 0.0] {
+        acc.set_fan_percent(duty)?;
+        println!("  {:>5.0}% -> {:.1} C", duty, acc.read_temperature_c()?);
+    }
+
+    // Then the chamber-mode campaign at the paper's set-points.
+    let study = temperature_study(
+        &AcceleratorConfig {
+            benchmark: BenchmarkId::GoogleNet,
+            eval_images: 100,
+            repetitions: 5,
+            ..AcceleratorConfig::default()
+        },
+        &SETPOINTS_C,
+        &SweepConfig {
+            start_mv: 850.0,
+            stop_mv: 535.0,
+            step_mv: 5.0,
+            images: 100,
+        },
+    )?;
+
+    println!("\npower (W) vs voltage and temperature:");
+    println!("{:>7} {:>8} {:>8} {:>8}", "mV", "34C", "43C", "52C");
+    for &mv in &[850.0, 650.0, 570.0] {
+        print!("{mv:>7.0}");
+        for &t in &SETPOINTS_C {
+            let p = study
+                .at_temp(t)
+                .and_then(|c| c.sweep.at_mv(mv))
+                .map(|m| format!("{:.3}", m.power_w))
+                .unwrap_or_default();
+            print!(" {p:>8}");
+        }
+        println!();
+    }
+
+    println!("\naccuracy vs voltage and temperature (ITD heals timing when hot):");
+    println!("{:>7} {:>8} {:>8} {:>8}", "mV", "34C", "43C", "52C");
+    for &mv in &[570.0, 560.0, 550.0, 545.0] {
+        print!("{mv:>7.0}");
+        for &t in &SETPOINTS_C {
+            let a = study
+                .at_temp(t)
+                .and_then(|c| c.sweep.at_mv(mv))
+                .map(|m| format!("{:.1}%", m.accuracy * 100.0))
+                .unwrap_or_else(|| "crash".into());
+            print!(" {a:>8}");
+        }
+        println!();
+    }
+
+    if let Some((t, mv, p)) = study.optimal_point(0.01) {
+        println!("\noptimal point (paper §7.3): {t:.0} C at {mv:.0} mV — {p:.2} W");
+    }
+    Ok(())
+}

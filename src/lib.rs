@@ -1,0 +1,54 @@
+//! # redvolt — reduced-voltage FPGA CNN acceleration, reproduced in Rust
+//!
+//! `redvolt` is a full software reproduction of *"An Experimental Study of
+//! Reduced-Voltage Operation in Modern FPGAs for Neural Network
+//! Acceleration"* (Salami et al., DSN 2020). The paper undervolts the
+//! `VCCINT`/`VCCBRAM` rails of three real Xilinx ZCU102 boards running
+//! DPU-based CNN inference; this workspace rebuilds the entire measurement
+//! stack — PMBus control plane, calibrated board physics, DPU accelerator,
+//! CNN inference, fault injection and the experiment methodology — so every
+//! table and figure of the paper can be regenerated on a laptop.
+//!
+//! This facade crate re-exports the sub-crates under stable module names:
+//!
+//! * [`num`] — interpolation, statistics, RNG, fixed point.
+//! * [`pmbus`] — the PMBus protocol used to monitor and regulate rails.
+//! * [`fpga`] — the ZCU102 board simulator (power / thermal / timing).
+//! * [`nn`] — CNN inference, quantization, pruning, benchmark models.
+//! * [`faults`] — undervolting timing-fault models and bit-flip injection.
+//! * [`dpu`] — the B4096-style accelerator and DNNDK-like runtime.
+//! * [`core`] — the paper's measurement campaigns as a library.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use redvolt::core::bench_suite::BenchmarkId;
+//! use redvolt::core::experiment::{Accelerator, AcceleratorConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Bring up board sample #0 with GoogleNet on the 3×B4096 DPU.
+//! // (`tiny` shrinks the model for this doc test; experiments use
+//! // `AcceleratorConfig::default()`.)
+//! let mut acc = Accelerator::bring_up(&AcceleratorConfig {
+//!     board_sample: 0,
+//!     ..AcceleratorConfig::tiny(BenchmarkId::GoogleNet)
+//! })?;
+//!
+//! // Measure at the nominal 850 mV, then inside the guardband at 600 mV.
+//! let nominal = acc.measure(16)?;
+//! acc.set_vccint_mv(600.0)?;
+//! let undervolted = acc.measure(16)?;
+//!
+//! assert!(undervolted.power_w < nominal.power_w);
+//! assert!((undervolted.accuracy - nominal.accuracy).abs() < 0.02);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use redvolt_core as core;
+pub use redvolt_dpu as dpu;
+pub use redvolt_faults as faults;
+pub use redvolt_fpga as fpga;
+pub use redvolt_nn as nn;
+pub use redvolt_num as num;
+pub use redvolt_pmbus as pmbus;
