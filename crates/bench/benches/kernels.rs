@@ -21,7 +21,9 @@ fn bench_kernels(c: &mut Criterion) {
         .warm_up_time(Duration::from_secs(1));
 
     // Quantized inference at paper scale (the inner loop of every figure).
-    let graph = ModelKind::VggNet.build(ModelScale::Paper).fold_batch_norms();
+    let graph = ModelKind::VggNet
+        .build(ModelScale::Paper)
+        .fold_batch_norms();
     let ds = SyntheticDataset::new(32, 32, 3, 10, 42);
     let mut q = QuantizedGraph::quantize(&graph, 8, &ds.images(4)).unwrap();
     let img = ds.image(0).0;

@@ -12,7 +12,9 @@ fn bench_tables(c: &mut Criterion) {
         .warm_up_time(Duration::from_secs(1));
     let s = Settings::tiny();
     group.bench_function("table1_benchmarks", |b| b.iter(|| harness::table1(&s)));
-    group.bench_function("table2_freq_underscaling", |b| b.iter(|| harness::table2(&s)));
+    group.bench_function("table2_freq_underscaling", |b| {
+        b.iter(|| harness::table2(&s))
+    });
     group.bench_function("power_breakdown", |b| {
         b.iter(|| harness::power_breakdown(&s))
     });

@@ -6,9 +6,15 @@
 //! every hard-coded constant can be audited:
 //!
 //! ```text
-//! cargo run --release -p redvolt-bench --bin calibrate
+//! cargo run --release -p redvolt-bench --bin calibrate -- --jobs 3
 //! ```
+//!
+//! `--jobs N` shards the per-board-sample searches across worker threads
+//! (default: available parallelism). The checks are deterministic, so the
+//! report is identical for every N.
 
+use redvolt_bench::harness::parse_jobs;
+use redvolt_core::executor::run_indexed;
 use redvolt_fpga::calib;
 use redvolt_fpga::power::{LoadProfile, PowerModel};
 use redvolt_fpga::timing::TimingModel;
@@ -24,6 +30,8 @@ fn check(name: &str, got: f64, want: f64, tol: f64) -> bool {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = parse_jobs(&args);
     let mut all_ok = true;
     println!("== Leakage temperature coefficient ==");
     // Paper §7.1: power rises 0.46% over 34->52 C at 850 mV. With the
@@ -31,7 +39,12 @@ fn main() {
     let leak_nom = calib::LEAK_ANCHORS_MV_W.last().unwrap().1;
     let share = leak_nom / calib::P_ONCHIP_NOM_W;
     let c = ((0.0046 / share) + 1.0f64).ln() / 18.0;
-    all_ok &= check("LEAK_TEMP_PER_C (analytic)", c, calib::LEAK_TEMP_PER_C, 5e-4);
+    all_ok &= check(
+        "LEAK_TEMP_PER_C (analytic)",
+        c,
+        calib::LEAK_TEMP_PER_C,
+        5e-4,
+    );
     // Numerically, as a one-dimensional least-squares fit against both
     // temperature anchors (0.46% @850mV, 0.15% @650mV) simultaneously.
     let pm_probe = PowerModel::default();
@@ -44,7 +57,12 @@ fn main() {
         e850 * e850 + e650 * e650
     };
     let c_fit = redvolt_num::fit::golden_section_min(objective, 1e-4, 2e-2, 1e-8);
-    all_ok &= check("LEAK_TEMP_PER_C (refit)", c_fit, calib::LEAK_TEMP_PER_C, 1e-3);
+    all_ok &= check(
+        "LEAK_TEMP_PER_C (refit)",
+        c_fit,
+        calib::LEAK_TEMP_PER_C,
+        1e-3,
+    );
 
     println!("== Power scaling anchors (Fig 5 / Table 2) ==");
     let pm = PowerModel::default();
@@ -108,24 +126,29 @@ fn main() {
     };
     let vcrash_of = |sample: u32| -> f64 {
         let tm = TimingModel::new(BoardCorner::for_sample(sample));
-        tm.crash_voltage_mv(calib::F_NOM_MHZ, t, calib::CRASH_SLACK_RATIO, 480.0, 850.0, 5.0)
-            .map(|v| v + 5.0)
-            .unwrap_or(f64::NAN)
+        tm.crash_voltage_mv(
+            calib::F_NOM_MHZ,
+            t,
+            calib::CRASH_SLACK_RATIO,
+            480.0,
+            850.0,
+            5.0,
+        )
+        .map(|v| v + 5.0)
+        .unwrap_or(f64::NAN)
     };
-    let vmins: Vec<f64> = (0..3).map(vmin_of).collect();
-    let vcrashes: Vec<f64> = (0..3).map(vcrash_of).collect();
-    let spread = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max)
-        - v.iter().cloned().fold(f64::MAX, f64::min);
+    // Board samples are independent — shard them across workers exactly
+    // like campaign cells; run_indexed merges in sample order.
+    let vmins: Vec<f64> = run_indexed(3, jobs, |sample, _worker| vmin_of(sample as u32));
+    let vcrashes: Vec<f64> = run_indexed(3, jobs, |sample, _worker| vcrash_of(sample as u32));
+    let spread = |v: &[f64]| {
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
     println!("  Vmin per board:   {vmins:?}");
     println!("  Vcrash per board: {vcrashes:?}");
     all_ok &= check("dVmin", spread(&vmins), 31.0, 10.0);
     all_ok &= check("dVcrash", spread(&vcrashes), 18.0, 8.0);
-    all_ok &= check(
-        "mean Vmin",
-        vmins.iter().sum::<f64>() / 3.0,
-        570.0,
-        7.0,
-    );
+    all_ok &= check("mean Vmin", vmins.iter().sum::<f64>() / 3.0, 570.0, 7.0);
 
     println!("== Temperature sensitivity of power (Fig 9) ==");
     let rel = |v: f64| {

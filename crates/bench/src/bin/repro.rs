@@ -3,23 +3,35 @@
 //! ```text
 //! cargo run --release -p redvolt-bench --bin repro -- all
 //! cargo run --release -p redvolt-bench --bin repro -- --quick fig6 table2
+//! cargo run --release -p redvolt-bench --bin repro -- --quick --jobs 8 all
 //! ```
 //!
 //! With no arguments, runs everything at full settings (three boards,
 //! 100 images, 10 repetitions — the paper's methodology). `--quick` runs
 //! board 0 with reduced sampling. `--csv` emits CSV instead of aligned
-//! text.
+//! text. `--jobs N` shards the shared sweep campaign across N worker
+//! threads (default: available parallelism); results are byte-identical
+//! for every N because each campaign cell derives its seed from the plan,
+//! not the schedule. Per-cell timing goes to stderr so stdout stays
+//! comparable across job counts.
 
-use redvolt_bench::harness::{self, Settings, ALL_EXPERIMENTS};
+use redvolt_bench::harness::{self, Settings, ALL_EXPERIMENTS, SWEEP_CACHED_EXPERIMENTS};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
+    let jobs = harness::parse_jobs(&args);
+    let mut skip_next = false;
     let mut wanted: Vec<String> = args
-        .into_iter()
-        .filter(|a| !a.starts_with("--"))
+        .iter()
+        .filter(|a| {
+            let take = !skip_next && !a.starts_with("--");
+            skip_next = *a == "--jobs";
+            take
+        })
+        .cloned()
         .collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
@@ -37,6 +49,14 @@ fn main() {
         settings.reps,
         if quick { "quick" } else { "full" }
     );
+    // Run the shared sweep grid once, in parallel, before any consumer.
+    if wanted
+        .iter()
+        .any(|w| SWEEP_CACHED_EXPERIMENTS.contains(&w.as_str()))
+    {
+        let report = harness::prefetch_sweeps(&settings, jobs);
+        eprintln!("{}", report.timing_table().to_text());
+    }
     for name in &wanted {
         let t0 = Instant::now();
         match harness::run_experiment(name, &settings) {
@@ -44,7 +64,9 @@ fn main() {
                 for table in tables {
                     println!("{}", if csv { table.to_csv() } else { table.to_text() });
                 }
-                println!("# {name} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+                // Timing goes to stderr: stdout must stay byte-identical
+                // across runs and --jobs values (tests/determinism.rs).
+                eprintln!("# {name} done in {:.1}s", t0.elapsed().as_secs_f64());
             }
             Err(e) => {
                 eprintln!("error: experiment {name}: {e}");

@@ -1,6 +1,7 @@
 //! Campaign drivers, one per table/figure of the paper.
 
-use redvolt_core::bench_suite::BenchmarkId;
+use redvolt_core::bench_suite::{benchmark_index, BenchmarkId};
+use redvolt_core::executor::{CampaignPlan, CampaignReport};
 use redvolt_core::experiment::{Accelerator, AcceleratorConfig, MeasureError};
 use redvolt_core::freqscale::{frequency_underscaling, FreqScaleConfig, FreqScaleRow};
 use redvolt_core::guardband::VoltageRegions;
@@ -73,20 +74,83 @@ fn bring_up(cfg: &AcceleratorConfig) -> Accelerator {
     Accelerator::bring_up(cfg).expect("workload preparation is infallible for built-in benchmarks")
 }
 
+/// Sweep-cache key: (benchmark index, board, images, reps, paper scale?).
+type SweepKey = (u8, u32, usize, usize, bool);
+type SweepCache = std::sync::Mutex<std::collections::HashMap<SweepKey, VoltageSweep>>;
+
 /// Deterministic sweeps are shared across figures (Figs. 3-6 all consume
 /// the same downward scans), keyed by (benchmark, board, settings).
-fn sweep_cache(
-) -> &'static std::sync::Mutex<std::collections::HashMap<(u8, u32, usize, usize, bool), VoltageSweep>>
-{
-    static CACHE: std::sync::OnceLock<
-        std::sync::Mutex<std::collections::HashMap<(u8, u32, usize, usize, bool), VoltageSweep>>,
-    > = std::sync::OnceLock::new();
+fn sweep_cache() -> &'static SweepCache {
+    static CACHE: std::sync::OnceLock<SweepCache> = std::sync::OnceLock::new();
     CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()))
 }
 
-fn cache_key(s: &Settings, kind: BenchmarkId, board: u32) -> (u8, u32, usize, usize, bool) {
-    let kind_idx = BenchmarkId::ALL.iter().position(|k| *k == kind).expect("known kind") as u8;
-    (kind_idx, board, s.images, s.reps, s.scale == ModelScale::Paper)
+fn cache_key(s: &Settings, kind: BenchmarkId, board: u32) -> SweepKey {
+    (
+        benchmark_index(kind) as u8,
+        board,
+        s.images,
+        s.reps,
+        s.scale == ModelScale::Paper,
+    )
+}
+
+/// Runs the full (benchmark × board) sweep grid for `s` through the
+/// parallel campaign executor and seeds the shared sweep cache with the
+/// results, so every subsequent figure/table draws from the same sweeps.
+///
+/// Cell seeds derive from `(master seed 42, cell index)` — see
+/// `redvolt_core::executor` — so the cache contents (and therefore all
+/// downstream tables) are byte-identical for every `jobs` value. Run this
+/// *before* the figures (the `repro` binary does); mixing prefetched and
+/// lazily-computed sweeps in one process would select different seeds
+/// depending on call order.
+pub fn prefetch_sweeps(s: &Settings, jobs: usize) -> CampaignReport {
+    let base = s.config(BenchmarkId::VggNet, s.boards[0]);
+    let plan = CampaignPlan::sweep_grid(
+        base.seed,
+        &BenchmarkId::ALL,
+        &s.boards,
+        base,
+        fig_sweep(s.images),
+    );
+    let report = plan
+        .run(jobs)
+        .expect("sweep cells absorb crashes; no other error is reachable");
+    let mut cache = sweep_cache().lock().expect("cache lock");
+    for r in &report.results {
+        if let Some(sweep) = r.outcome.as_sweep() {
+            cache.insert(
+                cache_key(s, r.spec.config.benchmark, r.spec.config.board_sample),
+                sweep.clone(),
+            );
+        }
+    }
+    report
+}
+
+/// The experiments [`prefetch_sweeps`] accelerates (they consume the
+/// shared sweep cache).
+pub const SWEEP_CACHED_EXPERIMENTS: [&str; 5] = ["fig3", "fig4", "fig5", "fig6", "table2"];
+
+/// Parses a `--jobs N` / `--jobs=N` argument, defaulting to the machine's
+/// available parallelism when absent and to 1 when malformed.
+pub fn parse_jobs(args: &[String]) -> usize {
+    let mut jobs = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            jobs = it.next().and_then(|v| v.parse().ok());
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = v.parse().ok();
+        }
+    }
+    jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+    .max(1)
 }
 
 /// The paper's critical-region voltage schedule plus guardband anchors.
@@ -139,7 +203,13 @@ pub fn table1(s: &Settings) -> Table {
 pub fn power_breakdown(s: &Settings) -> Table {
     let mut t = Table::new(
         "Power breakdown at Vnom (paper: 12.59 W mean, >99.9% on VCCINT)",
-        &["Model", "On-chip W", "VCCINT W", "VCCBRAM W", "VCCINT share"],
+        &[
+            "Model",
+            "On-chip W",
+            "VCCINT W",
+            "VCCBRAM W",
+            "VCCINT share",
+        ],
     );
     for kind in BenchmarkId::ALL {
         let mut acc = bring_up(&s.config(kind, s.boards[0]));
@@ -270,7 +340,13 @@ pub fn fig4(s: &Settings) -> Table {
 pub fn fig5(s: &Settings) -> Table {
     let mut t = Table::new(
         "Fig 5: GOPs/W gain vs Vnom (paper: 2.6x at Vmin, >3x at Vcrash)",
-        &["Model", "GOPs/W @850", "Gain @Vmin", "Gain @last-alive", "Extra below guardband"],
+        &[
+            "Model",
+            "GOPs/W @850",
+            "Gain @Vmin",
+            "Gain @last-alive",
+            "Extra below guardband",
+        ],
     );
     for kind in BenchmarkId::ALL {
         let mut at_vmin = Vec::new();
@@ -387,9 +463,7 @@ pub fn fig7(s: &Settings) -> (Table, Table) {
         let mut acc_row = vec![fmt(mv, 0)];
         let mut eff_row = vec![fmt(mv, 0)];
         for &bits in &FIG7_PRECISIONS {
-            let point = study
-                .at_bits(bits)
-                .and_then(|c| c.sweep.at_mv(mv));
+            let point = study.at_bits(bits).and_then(|c| c.sweep.at_mv(mv));
             match point {
                 Some(m) => {
                     acc_row.push(pct(m.accuracy));
@@ -424,9 +498,12 @@ pub fn fig8(s: &Settings) -> (Table, Table) {
         "Fig 8b: Work-equivalent GOPs/W, dense vs pruned (VGGNet)",
         &["mV", "Baseline", "Pruned"],
     );
-    let voltages = [850.0, 700.0, 570.0, 565.0, 560.0, 555.0, 550.0, 545.0, 540.0];
+    let voltages = [
+        850.0, 700.0, 570.0, 565.0, 560.0, 555.0, 550.0, 545.0, 540.0,
+    ];
     let cell_acc = |m: Option<&Measurement>| {
-        m.map(|m| pct(m.accuracy)).unwrap_or_else(|| "CRASH".to_string())
+        m.map(|m| pct(m.accuracy))
+            .unwrap_or_else(|| "CRASH".to_string())
     };
     for &mv in &voltages {
         acc_t.row(&[
@@ -521,7 +598,12 @@ pub fn ablations(s: &Settings) -> Table {
 
     let mut t = Table::new(
         "Ablations: modelling choices vs naive alternatives",
-        &["Ablation", "Chosen model", "Naive alternative", "Why it matters"],
+        &[
+            "Ablation",
+            "Chosen model",
+            "Naive alternative",
+            "Why it matters",
+        ],
     );
 
     // 1. Correlated burst injection vs independent single-bit upsets, at a
@@ -628,7 +710,13 @@ pub fn governor(s: &Settings) -> Table {
     use redvolt_core::governor::{run_governor, GovernorConfig};
     let mut t = Table::new(
         "Extension (paper SS9.ii): closed-loop minimum-voltage tracking (GoogleNet)",
-        &["Temp C", "Settled mV", "Mean power W", "Crashes", "Final power W"],
+        &[
+            "Temp C",
+            "Settled mV",
+            "Mean power W",
+            "Crashes",
+            "Final power W",
+        ],
     );
     for temp in [34.0, 52.0] {
         let mut acc = bring_up(&s.config(BenchmarkId::GoogleNet, s.boards[0]));
@@ -740,9 +828,11 @@ pub fn run_experiment(name: &str, s: &Settings) -> Result<Vec<Table>, MeasureErr
         "governor" => vec![governor(s)],
         "bram" => vec![bram(s)],
         other => {
-            return Err(MeasureError::Pmbus(redvolt_pmbus::PmbusError::Unencodable {
-                reason: format!("unknown experiment {other}"),
-            }))
+            return Err(MeasureError::Pmbus(
+                redvolt_pmbus::PmbusError::Unencodable {
+                    reason: format!("unknown experiment {other}"),
+                },
+            ))
         }
     };
     Ok(tables)
@@ -783,6 +873,32 @@ mod tests {
         let text = t.to_text();
         assert!(text.contains("guardband"));
         assert!(text.contains("CRASH"));
+    }
+
+    #[test]
+    fn prefetch_is_jobs_invariant_and_fills_the_cache() {
+        let s = Settings::tiny();
+        let serial = prefetch_sweeps(&s, 1);
+        let parallel = prefetch_sweeps(&s, 4);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.results.len(), BenchmarkId::ALL.len());
+        let cache = sweep_cache().lock().expect("cache lock");
+        for kind in BenchmarkId::ALL {
+            assert!(
+                cache.contains_key(&cache_key(&s, kind, 0)),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_jobs_accepts_both_spellings_and_defaults() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_jobs(&args(&["--jobs", "3"])), 3);
+        assert_eq!(parse_jobs(&args(&["fig3", "--jobs=7", "--csv"])), 7);
+        assert_eq!(parse_jobs(&args(&["--jobs", "0"])), 1);
+        assert!(parse_jobs(&args(&["all"])) >= 1);
     }
 
     #[test]

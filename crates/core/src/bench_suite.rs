@@ -13,6 +13,19 @@ use redvolt_nn::prune;
 /// A benchmark identifier (the five Table-1 CNNs).
 pub type BenchmarkId = ModelKind;
 
+/// Stable position of a benchmark in [`BenchmarkId::ALL`] — the canonical
+/// ordering campaign plans, sweep caches and cell labels all key on.
+///
+/// # Panics
+///
+/// Panics if `id` is not in `ALL` (cannot happen for the paper's suite).
+pub fn benchmark_index(id: BenchmarkId) -> usize {
+    BenchmarkId::ALL
+        .iter()
+        .position(|k| *k == id)
+        .expect("benchmark is one of the Table-1 CNNs")
+}
+
 /// How to prepare a benchmark workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadConfig {
@@ -136,18 +149,12 @@ impl Workload {
         } else {
             dense_graph
         };
-        let dataset = SyntheticDataset::new(
-            spec.input_hw,
-            spec.input_hw,
-            3,
-            spec.classes,
-            config.seed,
-        );
+        let dataset =
+            SyntheticDataset::new(spec.input_hw, spec.input_hw, 3, spec.classes, config.seed);
         let calib = dataset.images(config.calib_images);
         let mut task = DpuTask::create(spec.kind.name(), &graph, config.bits, &calib)?;
         if config.prune_fraction > 0.0 {
-            task = task
-                .with_crash_slack_ratio(redvolt_faults::model::PRUNED_CRASH_SLACK_RATIO);
+            task = task.with_crash_slack_ratio(redvolt_faults::model::PRUNED_CRASH_SLACK_RATIO);
         }
         // Labels are always calibrated against the INT8 reference design
         // (the paper's Table-1 baseline), so lower-precision variants show
@@ -165,8 +172,7 @@ impl Workload {
                 config.seed,
             )?
         } else {
-            let mut reference =
-                redvolt_nn::quant::QuantizedGraph::quantize(&graph, 8, &calib)?;
+            let mut reference = redvolt_nn::quant::QuantizedGraph::quantize(&graph, 8, &calib)?;
             let n_fit = (spec.classes * 8).max(360);
             let n_check = 80;
             let mut fit_images = Vec::with_capacity(n_fit);
@@ -176,17 +182,17 @@ impl Workload {
                 fit_labels.push(reference.predict(&img)?);
                 fit_images.push(img);
             }
-            let (check_images, check_labels) =
-                (&fit_images[n_fit..], &fit_labels[n_fit..]);
-            let agreement = |m: &mut redvolt_nn::quant::QuantizedGraph| -> Result<f64, WorkloadError> {
-                let mut hits = 0usize;
-                for (img, &want) in check_images.iter().zip(check_labels) {
-                    if m.predict(img)? == want {
-                        hits += 1;
+            let (check_images, check_labels) = (&fit_images[n_fit..], &fit_labels[n_fit..]);
+            let agreement =
+                |m: &mut redvolt_nn::quant::QuantizedGraph| -> Result<f64, WorkloadError> {
+                    let mut hits = 0usize;
+                    for (img, &want) in check_images.iter().zip(check_labels) {
+                        if m.predict(img)? == want {
+                            hits += 1;
+                        }
                     }
-                }
-                Ok(hits as f64 / n_check as f64)
-            };
+                    Ok(hits as f64 / n_check as f64)
+                };
             // Validated finetune: keep the refitted readout only when it
             // actually tracks the reference better on held-out images
             // (at mild precisions the shared weights already agree well).

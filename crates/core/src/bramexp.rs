@@ -75,9 +75,7 @@ pub fn bram_rail_study(
     let mut crashed_at_mv = None;
     let mut mv = start_mv;
     while mv >= stop_mv - 1e-9 {
-        let result = acc
-            .set_vccbram_mv(mv)
-            .and_then(|()| acc.measure(images));
+        let result = acc.set_vccbram_mv(mv).and_then(|()| acc.measure(images));
         match result {
             Ok(measurement) => points.push(BramPoint {
                 vccbram_mv: mv,

@@ -1,0 +1,640 @@
+//! Parallel campaign executor with deterministic sharding.
+//!
+//! The paper's contribution is a measurement *campaign*: three boards ×
+//! six benchmarks × a 5 mV-step voltage scan past Vcrash, every point
+//! averaging repeated measurements. Each cell of that grid — one
+//! `(board_sample, benchmark, config)` combination driven through one
+//! action — is independent of every other cell, so the grid parallelizes
+//! perfectly across cores. This module provides:
+//!
+//! * [`CampaignPlan`] — an ordered list of [`CellSpec`]s. The plan order
+//!   is the public contract: results always come back merged in plan
+//!   order, whatever the scheduling.
+//! * Deterministic seeding — cell `i` runs with
+//!   [`redvolt_num::rng::derive_stream_seed`]`(master_seed, i)`, so its
+//!   randomness is a pure function of the plan, independent of worker
+//!   count and of which worker picked it up. `tests/determinism.rs` pins
+//!   byte-identical serialized results for `jobs ∈ {1, 2, 8}`.
+//! * [`CampaignPlan::run`] — shards cells across `std::thread::scope`
+//!   workers (no dependencies beyond std; the registry is offline-hostile)
+//!   pulling from an atomic work queue, and records per-cell wall-clock
+//!   timing so campaign speedups can be tracked in benchmarks.
+//! * [`run_indexed`] — the bare deterministic fork/join primitive the
+//!   executor is built on, reusable for any index-addressed fan-out (the
+//!   `calibrate` binary shards its per-board model fits through it).
+
+use crate::bench_suite::{benchmark_index, BenchmarkId};
+use crate::experiment::{Accelerator, AcceleratorConfig, MeasureError, Measurement};
+use crate::governor::{run_governor, GovernorConfig, GovernorTrace};
+use crate::report::Table;
+use crate::sweep::{voltage_sweep, SweepConfig, VoltageSweep};
+use redvolt_num::rng::derive_stream_seed;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// What one campaign cell does with its accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellAction {
+    /// Run a downward voltage sweep.
+    Sweep(SweepConfig),
+    /// Run the closed-loop voltage governor for a number of batches.
+    Governor {
+        /// Governor tuning.
+        config: GovernorConfig,
+        /// Batches to run.
+        batches: u32,
+    },
+    /// Take one averaged measurement, optionally at a commanded voltage
+    /// (nominal when `None`).
+    Measure {
+        /// Voltage to command first, mV.
+        vccint_mv: Option<f64>,
+        /// Evaluation images.
+        images: usize,
+    },
+}
+
+/// One independent unit of campaign work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Accelerator to bring up. The `seed` field is treated as a default:
+    /// [`CampaignPlan::run`] overrides it with the seed derived from
+    /// `(master_seed, cell_index)`.
+    pub config: AcceleratorConfig,
+    /// The work to perform.
+    pub action: CellAction,
+    /// Board temperature to force before running (chamber mode), if any.
+    pub force_temp_c: Option<f64>,
+}
+
+impl CellSpec {
+    /// Human-readable cell label, e.g. `googlenet/b0`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/b{}",
+            self.config.benchmark.name(),
+            self.config.board_sample
+        )
+    }
+}
+
+/// What a cell produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// From [`CellAction::Sweep`].
+    Sweep(VoltageSweep),
+    /// From [`CellAction::Governor`].
+    Governor(GovernorTrace),
+    /// From [`CellAction::Measure`].
+    Measure(Measurement),
+}
+
+impl CellOutcome {
+    /// The sweep, if this outcome is one.
+    pub fn as_sweep(&self) -> Option<&VoltageSweep> {
+        match self {
+            CellOutcome::Sweep(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Canonical CSV rows for the deterministic fields of the outcome
+    /// (no timing — wall clock is reported separately, precisely so the
+    /// science payload can be compared byte-for-byte across runs).
+    fn csv_rows(&self) -> Vec<String> {
+        match self {
+            CellOutcome::Sweep(s) => {
+                let mut rows: Vec<String> = s.points.iter().map(Measurement::csv_row).collect();
+                match s.crashed_at_mv {
+                    Some(mv) => rows.push(format!("crashed_at,{mv:?}")),
+                    None => rows.push("crashed_at,none".to_string()),
+                }
+                rows
+            }
+            CellOutcome::Governor(t) => t.csv_rows(),
+            CellOutcome::Measure(m) => vec![m.csv_row()],
+        }
+    }
+}
+
+/// One executed cell: its plan position, payload, and timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Position in the plan (results are always merged in this order).
+    pub index: usize,
+    /// The spec that ran (with the derived seed stamped into `config`).
+    pub spec: CellSpec,
+    /// What the cell produced.
+    pub outcome: CellOutcome,
+    /// Wall-clock time the cell took.
+    pub elapsed: Duration,
+    /// Which worker executed it (informational; never affects results).
+    pub worker: usize,
+}
+
+/// A campaign cell failed with a non-crash error.
+#[derive(Debug)]
+pub struct CampaignError {
+    /// Plan index of the failing cell.
+    pub index: usize,
+    /// Label of the failing cell.
+    pub label: String,
+    /// The underlying error.
+    pub source: MeasureError,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "campaign cell {} ({}): {}",
+            self.index, self.label, self.source
+        )
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// An ordered set of independent campaign cells plus the master seed their
+/// per-cell seeds derive from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPlan {
+    /// Master seed; cell `i` runs with `derive_stream_seed(master_seed, i)`.
+    pub master_seed: u64,
+    cells: Vec<CellSpec>,
+}
+
+impl CampaignPlan {
+    /// An empty plan.
+    pub fn new(master_seed: u64) -> Self {
+        CampaignPlan {
+            master_seed,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends a cell, returning its plan index.
+    pub fn push(&mut self, cell: CellSpec) -> usize {
+        self.cells.push(cell);
+        self.cells.len() - 1
+    }
+
+    /// The full (benchmark × board) sweep grid the paper's Figs. 3–6 scan,
+    /// enumerated benchmark-major in [`BenchmarkId::ALL`] order then board
+    /// order — the canonical cell ordering the sweep cache and the figure
+    /// tables share.
+    pub fn sweep_grid(
+        master_seed: u64,
+        benchmarks: &[BenchmarkId],
+        boards: &[u32],
+        base: AcceleratorConfig,
+        sweep: SweepConfig,
+    ) -> Self {
+        let mut plan = CampaignPlan::new(master_seed);
+        let mut ordered = benchmarks.to_vec();
+        ordered.sort_by_key(|&k| benchmark_index(k));
+        for benchmark in ordered {
+            for &board in boards {
+                plan.push(CellSpec {
+                    config: AcceleratorConfig {
+                        benchmark,
+                        board_sample: board,
+                        ..base
+                    },
+                    action: CellAction::Sweep(sweep),
+                    force_temp_c: None,
+                });
+            }
+        }
+        plan
+    }
+
+    /// The cells, in plan order.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The derived seed cell `index` runs with.
+    pub fn cell_seed(&self, index: usize) -> u64 {
+        derive_stream_seed(self.master_seed, index as u64)
+    }
+
+    /// Executes every cell across `jobs` workers and merges the results in
+    /// plan order. `jobs` is clamped to `[1, len]`; results are identical
+    /// for every value of `jobs` because each cell's seed depends only on
+    /// `(master_seed, index)` and cells share no state.
+    ///
+    /// # Errors
+    ///
+    /// If cells fail with non-crash errors, the first failure *in plan
+    /// order* is returned (also independent of scheduling). A board hang
+    /// during a sweep is not an error — it is recorded in the sweep.
+    pub fn run(&self, jobs: usize) -> Result<CampaignReport, CampaignError> {
+        let started = Instant::now();
+        let jobs = jobs.max(1).min(self.cells.len().max(1));
+        let outcomes = run_indexed(self.cells.len(), jobs, |index, worker| {
+            let cell_started = Instant::now();
+            let spec = CellSpec {
+                config: self.cells[index].config.with_seed(self.cell_seed(index)),
+                ..self.cells[index].clone()
+            };
+            let outcome = execute_cell(&spec);
+            (spec, outcome, cell_started.elapsed(), worker)
+        });
+        let mut results = Vec::with_capacity(outcomes.len());
+        for (index, (spec, outcome, elapsed, worker)) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(outcome) => results.push(CellResult {
+                    index,
+                    spec,
+                    outcome,
+                    elapsed,
+                    worker,
+                }),
+                Err(source) => {
+                    return Err(CampaignError {
+                        index,
+                        label: spec.label(),
+                        source,
+                    })
+                }
+            }
+        }
+        Ok(CampaignReport {
+            jobs,
+            elapsed: started.elapsed(),
+            results,
+        })
+    }
+}
+
+fn execute_cell(spec: &CellSpec) -> Result<CellOutcome, MeasureError> {
+    let mut acc = Accelerator::bring_up(&spec.config)?;
+    if let Some(temp) = spec.force_temp_c {
+        acc.board_mut().thermal_mut().force_temperature(temp);
+    }
+    match &spec.action {
+        CellAction::Sweep(cfg) => Ok(CellOutcome::Sweep(voltage_sweep(&mut acc, cfg)?)),
+        CellAction::Governor { config, batches } => Ok(CellOutcome::Governor(run_governor(
+            &mut acc, config, *batches,
+        )?)),
+        CellAction::Measure { vccint_mv, images } => {
+            if let Some(mv) = vccint_mv {
+                acc.set_vccint_mv(*mv)?;
+            }
+            Ok(CellOutcome::Measure(acc.measure(*images)?))
+        }
+    }
+}
+
+/// A finished campaign: per-cell results in plan order plus timing.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Worker count the campaign ran with.
+    pub jobs: usize,
+    /// Wall-clock time of the whole campaign.
+    pub elapsed: Duration,
+    /// Per-cell results, merged in plan order.
+    pub results: Vec<CellResult>,
+}
+
+impl CampaignReport {
+    /// Sum of per-cell times — what a single worker would have spent.
+    pub fn serial_time(&self) -> Duration {
+        self.results.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Observed speedup over a serial execution of the same cells.
+    pub fn speedup(&self) -> f64 {
+        self.serial_time().as_secs_f64() / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Canonical CSV serialization of every cell's *deterministic* payload
+    /// (plan index, label, seed, then outcome rows — no timing). Two runs
+    /// of the same plan produce byte-identical output regardless of `jobs`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&format!(
+                "cell,{},{},{}\n",
+                r.index,
+                r.spec.label(),
+                r.spec.config.seed
+            ));
+            for row in r.outcome.csv_rows() {
+                out.push_str(&row);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Per-cell wall-clock report (worker, seconds) plus the campaign
+    /// total — the numbers BENCH_*.json speedup entries track. Kept out of
+    /// [`CampaignReport::to_csv`] so timing noise never pollutes the
+    /// deterministic payload.
+    pub fn timing_table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "Campaign timing: {} cells, {} jobs, {:.2}s wall ({:.2}s serial, {:.2}x)",
+                self.results.len(),
+                self.jobs,
+                self.elapsed.as_secs_f64(),
+                self.serial_time().as_secs_f64(),
+                self.speedup(),
+            ),
+            &["Cell", "Label", "Worker", "Seconds"],
+        );
+        for r in &self.results {
+            t.row(&[
+                r.index.to_string(),
+                r.spec.label(),
+                r.worker.to_string(),
+                format!("{:.3}", r.elapsed.as_secs_f64()),
+            ]);
+        }
+        t
+    }
+}
+
+/// Deterministic fork/join: computes `f(index, worker)` for every index in
+/// `0..count` across `jobs` scoped threads, returning results ordered by
+/// index. Workers pull indices from a shared atomic queue, so load
+/// balances dynamically while the output order stays fixed. With `jobs <=
+/// 1` everything runs inline on the caller's thread.
+///
+/// `f` must not depend on `worker` for its result — the id is provided for
+/// telemetry only.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread.
+pub fn run_indexed<T, F>(count: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(count.max(1));
+    if jobs == 1 {
+        return (0..count).map(|i| f(i, 0)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|worker| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= count {
+                            break;
+                        }
+                        produced.push((index, f(index, worker)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(produced) => {
+                    for (index, value) in produced {
+                        slots[index] = Some(value);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index executed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redvolt_nn::models::ModelScale;
+
+    fn tiny_cell(benchmark: BenchmarkId, board: u32, action: CellAction) -> CellSpec {
+        CellSpec {
+            config: AcceleratorConfig {
+                board_sample: board,
+                ..AcceleratorConfig::tiny(benchmark)
+            },
+            action,
+            force_temp_c: None,
+        }
+    }
+
+    fn small_sweep() -> SweepConfig {
+        SweepConfig {
+            start_mv: 850.0,
+            stop_mv: 560.0,
+            step_mv: 50.0,
+            images: 8,
+        }
+    }
+
+    #[test]
+    fn run_indexed_orders_results_and_covers_every_index() {
+        for jobs in [1, 2, 3, 8, 64] {
+            let out = run_indexed(17, jobs, |i, _w| i * i);
+            assert_eq!(
+                out,
+                (0..17).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+        assert!(run_indexed(0, 4, |i, _| i).is_empty());
+    }
+
+    #[test]
+    fn plan_results_arrive_in_plan_order_with_derived_seeds() {
+        let mut plan = CampaignPlan::new(42);
+        for board in 0..3 {
+            plan.push(tiny_cell(
+                BenchmarkId::VggNet,
+                board,
+                CellAction::Measure {
+                    vccint_mv: None,
+                    images: 8,
+                },
+            ));
+        }
+        let report = plan.run(2).unwrap();
+        assert_eq!(report.results.len(), 3);
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.spec.config.board_sample, i as u32);
+            assert_eq!(r.spec.config.seed, plan.cell_seed(i));
+        }
+        // Derived seeds differ across cells even though the specs share a
+        // master seed.
+        assert_ne!(
+            report.results[0].spec.config.seed,
+            report.results[1].spec.config.seed
+        );
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_run_exactly() {
+        let mut plan = CampaignPlan::new(7);
+        plan.push(tiny_cell(
+            BenchmarkId::VggNet,
+            0,
+            CellAction::Sweep(small_sweep()),
+        ));
+        plan.push(tiny_cell(
+            BenchmarkId::GoogleNet,
+            1,
+            CellAction::Sweep(small_sweep()),
+        ));
+        plan.push(tiny_cell(
+            BenchmarkId::VggNet,
+            2,
+            CellAction::Measure {
+                vccint_mv: Some(600.0),
+                images: 8,
+            },
+        ));
+        let serial = plan.run(1).unwrap();
+        let parallel = plan.run(3).unwrap();
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+    }
+
+    #[test]
+    fn sweep_grid_enumerates_benchmark_major() {
+        let plan = CampaignPlan::sweep_grid(
+            1,
+            &[BenchmarkId::GoogleNet, BenchmarkId::VggNet],
+            &[0, 2],
+            AcceleratorConfig::tiny(BenchmarkId::VggNet),
+            small_sweep(),
+        );
+        let labels: Vec<String> = plan.cells().iter().map(CellSpec::label).collect();
+        // VGGNet precedes GoogleNet in BenchmarkId::ALL order even though
+        // the arguments listed GoogleNet first; boards nest inside each
+        // benchmark.
+        assert_eq!(
+            labels,
+            vec!["VGGNet/b0", "VGGNet/b2", "GoogleNet/b0", "GoogleNet/b2"]
+        );
+    }
+
+    #[test]
+    fn forced_temperature_reaches_the_cell_board() {
+        let mut plan = CampaignPlan::new(3);
+        let mut hot = tiny_cell(
+            BenchmarkId::GoogleNet,
+            0,
+            CellAction::Measure {
+                vccint_mv: None,
+                images: 8,
+            },
+        );
+        hot.force_temp_c = Some(52.0);
+        plan.push(hot.clone());
+        hot.force_temp_c = Some(34.0);
+        plan.push(hot);
+        let report = plan.run(2).unwrap();
+        let temp = |i: usize| match &report.results[i].outcome {
+            CellOutcome::Measure(m) => m.junction_c,
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        assert!(temp(0) > temp(1), "hot {} vs cold {}", temp(0), temp(1));
+    }
+
+    #[test]
+    fn governor_cells_run_in_parallel() {
+        let mut plan = CampaignPlan::new(11);
+        for board in [0u32, 1] {
+            plan.push(CellSpec {
+                config: AcceleratorConfig {
+                    board_sample: board,
+                    eval_images: 32,
+                    repetitions: 1,
+                    scale: ModelScale::Paper,
+                    ..AcceleratorConfig::tiny(BenchmarkId::GoogleNet)
+                },
+                action: CellAction::Governor {
+                    config: GovernorConfig::default(),
+                    batches: 40,
+                },
+                force_temp_c: None,
+            });
+        }
+        let report = plan.run(2).unwrap();
+        for r in &report.results {
+            match &r.outcome {
+                CellOutcome::Governor(t) => assert_eq!(t.steps.len(), 40),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(plan.run(1).unwrap().to_csv(), report.to_csv());
+    }
+
+    #[test]
+    fn timing_table_reports_every_cell() {
+        let mut plan = CampaignPlan::new(5);
+        for board in 0..2 {
+            plan.push(tiny_cell(
+                BenchmarkId::VggNet,
+                board,
+                CellAction::Measure {
+                    vccint_mv: None,
+                    images: 8,
+                },
+            ));
+        }
+        let report = plan.run(2).unwrap();
+        assert_eq!(report.timing_table().len(), 2);
+        assert!(report.serial_time() >= Duration::ZERO);
+        assert!(report.speedup() > 0.0);
+    }
+
+    #[test]
+    fn out_of_window_cell_reports_plan_ordered_error() {
+        let mut plan = CampaignPlan::new(1);
+        plan.push(tiny_cell(
+            BenchmarkId::VggNet,
+            0,
+            CellAction::Measure {
+                vccint_mv: Some(1200.0), // rejected by the PMBus window
+                images: 8,
+            },
+        ));
+        plan.push(tiny_cell(
+            BenchmarkId::VggNet,
+            1,
+            CellAction::Measure {
+                vccint_mv: Some(2000.0), // also rejected, but later in plan
+                images: 8,
+            },
+        ));
+        for jobs in [1, 2] {
+            let err = plan.run(jobs).unwrap_err();
+            assert_eq!(err.index, 0, "first failure in plan order, jobs={jobs}");
+            assert!(matches!(err.source, MeasureError::Pmbus(_)));
+        }
+    }
+}

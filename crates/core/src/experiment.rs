@@ -73,6 +73,12 @@ impl AcceleratorConfig {
             ..AcceleratorConfig::default()
         }
     }
+
+    /// The same configuration with a different master seed (the campaign
+    /// executor stamps each cell's derived seed through this).
+    pub fn with_seed(self, seed: u64) -> Self {
+        AcceleratorConfig { seed, ..self }
+    }
 }
 
 /// One averaged measurement at an operating point.
@@ -96,6 +102,30 @@ pub struct Measurement {
     pub injected_faults: u64,
     /// Spread of the accuracy across repetitions (std dev).
     pub accuracy_std: f64,
+}
+
+impl Measurement {
+    /// Column names matching [`Measurement::csv_row`].
+    pub const CSV_HEADER: &'static str =
+        "vccint_mv,f_mhz,accuracy,power_w,gops,gops_per_w,junction_c,injected_faults,accuracy_std";
+
+    /// Canonical CSV serialization. Floats use Rust's shortest round-trip
+    /// formatting, so two bit-identical measurements serialize to the same
+    /// bytes — the property `tests/determinism.rs` pins across job counts.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{:?},{:?},{:?},{:?},{:?},{:?},{:?},{},{:?}",
+            self.vccint_mv,
+            self.f_mhz,
+            self.accuracy,
+            self.power_w,
+            self.gops,
+            self.gops_per_w,
+            self.junction_c,
+            self.injected_faults,
+            self.accuracy_std,
+        )
+    }
 }
 
 /// Errors from accelerator operations.
@@ -303,10 +333,11 @@ impl Accelerator {
         let mut junction = 0.0;
         for _ in 0..reps {
             self.seed_counter = self.seed_counter.wrapping_add(1);
-            let result = match self
-                .runtime
-                .run_batch(&mut self.workload.task, eval_images, self.seed_counter)
-            {
+            let result = match self.runtime.run_batch(
+                &mut self.workload.task,
+                eval_images,
+                self.seed_counter,
+            ) {
                 Ok(r) => r,
                 Err(RunError::BoardCrashed) => {
                     return Err(MeasureError::Crashed {
@@ -407,11 +438,13 @@ mod tests {
     fn crash_reported_and_power_cycle_recovers() {
         let mut a = acc();
         let r = a.set_vccint_mv(530.0);
-        assert!(matches!(r, Err(MeasureError::Crashed { .. })) || {
-            // The write may land before the hang is latched; the
-            // measurement then reports the crash.
-            matches!(a.measure(8), Err(MeasureError::Crashed { .. }))
-        });
+        assert!(
+            matches!(r, Err(MeasureError::Crashed { .. })) || {
+                // The write may land before the hang is latched; the
+                // measurement then reports the crash.
+                matches!(a.measure(8), Err(MeasureError::Crashed { .. }))
+            }
+        );
         a.power_cycle();
         assert!(a.measure(8).is_ok());
         assert_eq!(a.vccint_mv(), 850.0);

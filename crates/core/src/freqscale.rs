@@ -128,8 +128,7 @@ mod tests {
     use crate::experiment::AcceleratorConfig;
 
     fn run_table2() -> Vec<FreqScaleRow> {
-        let mut acc =
-            Accelerator::bring_up(&AcceleratorConfig::tiny(BenchmarkId::VggNet)).unwrap();
+        let mut acc = Accelerator::bring_up(&AcceleratorConfig::tiny(BenchmarkId::VggNet)).unwrap();
         frequency_underscaling(
             &mut acc,
             &FreqScaleConfig {

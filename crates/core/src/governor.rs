@@ -81,6 +81,25 @@ impl GovernorTrace {
     pub fn crash_count(&self) -> usize {
         self.steps.iter().filter(|s| s.crashed).count()
     }
+
+    /// Canonical CSV serialization of the trace (one row per batch, plus a
+    /// terminal `settled` row). Uses shortest round-trip float formatting,
+    /// like [`crate::experiment::Measurement::csv_row`], so byte equality
+    /// of two serialized traces means bit-identical results.
+    pub fn csv_rows(&self) -> Vec<String> {
+        let mut rows: Vec<String> = self
+            .steps
+            .iter()
+            .map(|s| {
+                format!(
+                    "{},{:?},{},{:?},{}",
+                    s.batch, s.vccint_mv, s.faults, s.power_w, s.crashed
+                )
+            })
+            .collect();
+        rows.push(format!("settled,{:?},,,", self.settled_mv));
+        rows
+    }
 }
 
 /// Runs the governor for `batches` batches on an accelerator.
@@ -116,8 +135,7 @@ pub fn run_governor(
                     target_mv = (commanded + cfg.step_up_mv).min(VNOM_MV);
                 } else {
                     streak += 1;
-                    if streak >= cfg.clean_streak && commanded - cfg.step_down_mv >= cfg.floor_mv
-                    {
+                    if streak >= cfg.clean_streak && commanded - cfg.step_down_mv >= cfg.floor_mv {
                         streak = 0;
                         target_mv = commanded - cfg.step_down_mv;
                     }
@@ -184,12 +202,7 @@ mod tests {
         let mut acc = accelerator();
         let trace = run_governor(&mut acc, &GovernorConfig::default(), 160).unwrap();
         // Late-phase voltages stay in a tight band around Vmin (570).
-        let late: Vec<f64> = trace
-            .steps
-            .iter()
-            .skip(120)
-            .map(|s| s.vccint_mv)
-            .collect();
+        let late: Vec<f64> = trace.steps.iter().skip(120).map(|s| s.vccint_mv).collect();
         let lo = late.iter().cloned().fold(f64::MAX, f64::min);
         assert!(
             (545.0..=575.0).contains(&lo),

@@ -8,6 +8,9 @@
 //!   test: PMBus voltage control, averaged telemetry measurements.
 //! * [`sweep`] — downward voltage sweeps (Figs. 4–6).
 //! * [`guardband`] — Vmin / Vcrash searches and region sizes (Fig. 3).
+//! * [`executor`] — the parallel campaign executor: deterministic
+//!   sharding of independent (board × benchmark × config) cells across
+//!   `std::thread::scope` workers with per-cell derived seeds.
 //! * [`efficiency`] — GOPs/W gain analysis (Fig. 5 headline numbers).
 //! * [`freqscale`] — the Table-2 frequency-underscaling flow (§5).
 //! * [`quantexp`] — undervolting × quantization (Fig. 7, §6.1).
@@ -43,6 +46,7 @@
 pub mod bench_suite;
 pub mod bramexp;
 pub mod efficiency;
+pub mod executor;
 pub mod experiment;
 pub mod freqscale;
 pub mod governor;

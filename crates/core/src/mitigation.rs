@@ -149,10 +149,7 @@ mod tests {
             .iter()
             .find(|p| (p.vccint_mv - 560.0).abs() < 1e-6)
             .expect("560 mV measured");
-        assert!(
-            p560.accuracy > p560.unmitigated_accuracy + 0.05,
-            "{p560:?}"
-        );
+        assert!(p560.accuracy > p560.unmitigated_accuracy + 0.05, "{p560:?}");
         assert!(p560.attempts_per_image > 1.0);
     }
 

@@ -45,10 +45,7 @@ pub fn quantization_study(
 ) -> Result<QuantStudy, MeasureError> {
     let mut curves = Vec::with_capacity(precisions.len());
     for &bits in precisions {
-        let mut acc = Accelerator::bring_up(&AcceleratorConfig {
-            bits,
-            ..*base
-        })?;
+        let mut acc = Accelerator::bring_up(&AcceleratorConfig { bits, ..*base })?;
         let sweep = voltage_sweep(&mut acc, sweep_cfg)?;
         curves.push(QuantCurve { bits, sweep });
     }

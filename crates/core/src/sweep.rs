@@ -36,6 +36,42 @@ impl SweepConfig {
             images,
         }
     }
+
+    /// The voltages this sweep commands, highest first: `start_mv`,
+    /// `start_mv - step_mv`, … down to the last value `>= stop_mv` (with a
+    /// 1 nV slack so accumulated float error cannot drop the final point).
+    ///
+    /// This enumeration is the unit the campaign executor shards over, so
+    /// its edge cases are pinned by tests: a stop above the start yields an
+    /// empty sweep, `start == stop` yields exactly one point, and a step
+    /// that does not divide the span still includes the last in-range
+    /// voltage rather than overshooting below `stop_mv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_mv` is not a positive finite number.
+    pub fn voltages_mv(&self) -> Vec<f64> {
+        assert!(
+            self.step_mv > 0.0 && self.step_mv.is_finite(),
+            "step_mv must be positive and finite: {}",
+            self.step_mv
+        );
+        let mut voltages = Vec::new();
+        let mut mv = self.start_mv;
+        while mv >= self.stop_mv - 1e-9 {
+            voltages.push(mv);
+            mv -= self.step_mv;
+        }
+        voltages
+    }
+
+    /// Number of points [`SweepConfig::voltages_mv`] enumerates.
+    pub fn point_count(&self) -> usize {
+        if self.start_mv < self.stop_mv - 1e-9 {
+            return 0;
+        }
+        ((self.start_mv - self.stop_mv) / self.step_mv + 1e-9) as usize + 1
+    }
 }
 
 /// Result of a downward voltage sweep.
@@ -50,9 +86,7 @@ pub struct VoltageSweep {
 impl VoltageSweep {
     /// The measurement at (or nearest below) a commanded voltage.
     pub fn at_mv(&self, mv: f64) -> Option<&Measurement> {
-        self.points
-            .iter()
-            .find(|m| (m.vccint_mv - mv).abs() < 1e-6)
+        self.points.iter().find(|m| (m.vccint_mv - mv).abs() < 1e-6)
     }
 
     /// The nominal (first) point.
@@ -85,11 +119,8 @@ pub fn voltage_sweep(
 ) -> Result<VoltageSweep, MeasureError> {
     let mut points = Vec::new();
     let mut crashed_at_mv = None;
-    let mut mv = cfg.start_mv;
-    while mv >= cfg.stop_mv - 1e-9 {
-        let step_result = acc
-            .set_vccint_mv(mv)
-            .and_then(|()| acc.measure(cfg.images));
+    for mv in cfg.voltages_mv() {
+        let step_result = acc.set_vccint_mv(mv).and_then(|()| acc.measure(cfg.images));
         match step_result {
             Ok(m) => points.push(m),
             Err(MeasureError::Crashed { vccint_mv }) => {
@@ -101,7 +132,6 @@ pub fn voltage_sweep(
                 return Err(e);
             }
         }
-        mv -= cfg.step_mv;
     }
     acc.power_cycle();
     Ok(VoltageSweep {
@@ -117,8 +147,7 @@ mod tests {
     use crate::experiment::AcceleratorConfig;
 
     fn sweep() -> VoltageSweep {
-        let mut acc =
-            Accelerator::bring_up(&AcceleratorConfig::tiny(BenchmarkId::VggNet)).unwrap();
+        let mut acc = Accelerator::bring_up(&AcceleratorConfig::tiny(BenchmarkId::VggNet)).unwrap();
         voltage_sweep(
             &mut acc,
             &SweepConfig {
@@ -129,6 +158,69 @@ mod tests {
             },
         )
         .unwrap()
+    }
+
+    fn steps(start_mv: f64, stop_mv: f64, step_mv: f64) -> SweepConfig {
+        SweepConfig {
+            start_mv,
+            stop_mv,
+            step_mv,
+            images: 1,
+        }
+    }
+
+    #[test]
+    fn enumeration_counts_divisible_span() {
+        // 850 → 520 in 5s: 67 points, both endpoints included.
+        let cfg = steps(850.0, 520.0, 5.0);
+        let v = cfg.voltages_mv();
+        assert_eq!(v.len(), 67);
+        assert_eq!(cfg.point_count(), 67);
+        assert_eq!(v[0], 850.0);
+        assert_eq!(*v.last().unwrap(), 520.0);
+    }
+
+    #[test]
+    fn enumeration_stop_below_start_is_empty() {
+        let cfg = steps(520.0, 850.0, 5.0);
+        assert!(cfg.voltages_mv().is_empty());
+        assert_eq!(cfg.point_count(), 0);
+    }
+
+    #[test]
+    fn enumeration_single_point_when_start_equals_stop() {
+        let cfg = steps(850.0, 850.0, 5.0);
+        assert_eq!(cfg.voltages_mv(), vec![850.0]);
+        assert_eq!(cfg.point_count(), 1);
+    }
+
+    #[test]
+    fn enumeration_non_divisible_step_keeps_last_in_range_point() {
+        // 850 → 520 in 7s: the last in-range point is 850 - 47·7 = 521;
+        // the next step (514) would overshoot below stop and is excluded.
+        let cfg = steps(850.0, 520.0, 7.0);
+        let v = cfg.voltages_mv();
+        assert_eq!(v.len(), 48);
+        assert_eq!(cfg.point_count(), 48);
+        assert_eq!(*v.last().unwrap(), 521.0);
+        assert!(v.iter().all(|&mv| mv >= 520.0));
+    }
+
+    #[test]
+    fn enumeration_sub_unit_step_accumulates_no_float_drift() {
+        // 0.1 is inexact in binary; 3301 accumulated subtractions must not
+        // lose the final 520.0 point to rounding.
+        let cfg = steps(850.0, 520.0, 0.1);
+        let v = cfg.voltages_mv();
+        assert_eq!(v.len(), 3301);
+        assert_eq!(cfg.point_count(), 3301);
+        assert!((v.last().unwrap() - 520.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "step_mv must be positive")]
+    fn enumeration_rejects_non_positive_step() {
+        steps(850.0, 520.0, 0.0).voltages_mv();
     }
 
     #[test]
@@ -167,8 +259,7 @@ mod tests {
 
     #[test]
     fn accelerator_is_restored_after_sweep() {
-        let mut acc =
-            Accelerator::bring_up(&AcceleratorConfig::tiny(BenchmarkId::VggNet)).unwrap();
+        let mut acc = Accelerator::bring_up(&AcceleratorConfig::tiny(BenchmarkId::VggNet)).unwrap();
         voltage_sweep(&mut acc, &SweepConfig::coarse(8)).unwrap();
         assert!(!acc.board().is_crashed());
         assert_eq!(acc.vccint_mv(), 850.0);

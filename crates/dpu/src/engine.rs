@@ -48,8 +48,7 @@ pub fn timing(kernel: &DpuKernel, f_mhz: f64, cores: usize) -> Timing {
     assert!(f_mhz > 0.0, "clock must be positive");
     assert!(cores > 0, "need at least one core");
     let t_compute_s = kernel.total_cycles() as f64 / (f_mhz * 1e6);
-    let bytes =
-        kernel.total_feature_bytes() + memory::streamed_weight_bytes(kernel.weight_bytes);
+    let bytes = kernel.total_feature_bytes() + memory::streamed_weight_bytes(kernel.weight_bytes);
     let t_memory_s = memory::ddr_time_s(bytes);
     let t_image_s = t_compute_s + t_memory_s;
     let images_per_s = cores as f64 / t_image_s;
@@ -73,14 +72,7 @@ mod tests {
     fn paper_kernels() -> Vec<DpuKernel> {
         ModelKind::ALL
             .iter()
-            .map(|&k| {
-                compile(
-                    k.name(),
-                    &k.build(ModelScale::Paper).fold_batch_norms(),
-                    8,
-                )
-                .unwrap()
-            })
+            .map(|&k| compile(k.name(), &k.build(ModelScale::Paper).fold_batch_norms(), 8).unwrap())
             .collect()
     }
 

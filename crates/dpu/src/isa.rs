@@ -84,13 +84,19 @@ impl DpuInstr {
     pub fn feature_bytes(&self) -> u64 {
         match self {
             DpuInstr::Conv {
-                in_bytes, out_bytes, ..
+                in_bytes,
+                out_bytes,
+                ..
             }
             | DpuInstr::Fc {
-                in_bytes, out_bytes, ..
+                in_bytes,
+                out_bytes,
+                ..
             }
             | DpuInstr::Misc {
-                in_bytes, out_bytes, ..
+                in_bytes,
+                out_bytes,
+                ..
             } => in_bytes + out_bytes,
             _ => 0,
         }

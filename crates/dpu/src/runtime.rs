@@ -446,7 +446,9 @@ mod tests {
         let ds_a = SyntheticDataset::new(48, 48, 3, 2, 42);
         let alex = DpuTask::create(
             "alexnet",
-            &ModelKind::AlexNet.build(ModelScale::Tiny).fold_batch_norms(),
+            &ModelKind::AlexNet
+                .build(ModelScale::Tiny)
+                .fold_batch_norms(),
             8,
             &ds_a.images(2),
         )
@@ -454,7 +456,9 @@ mod tests {
         let ds_g = SyntheticDataset::new(32, 32, 3, 10, 42);
         let google = DpuTask::create(
             "googlenet",
-            &ModelKind::GoogleNet.build(ModelScale::Tiny).fold_batch_norms(),
+            &ModelKind::GoogleNet
+                .build(ModelScale::Tiny)
+                .fold_batch_norms(),
             8,
             &ds_g.images(2),
         )

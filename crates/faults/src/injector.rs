@@ -97,10 +97,20 @@ impl SlackFaultInjector {
     }
 
     /// One correlated datapath burst: consecutive indices, one high bit.
-    fn burst(&mut self, len: usize, bit_lo: u32, bit_hi: u32, max_burst_log2: u32, out: &mut Vec<BitFlip>) {
+    fn burst(
+        &mut self,
+        len: usize,
+        bit_lo: u32,
+        bit_hi: u32,
+        max_burst_log2: u32,
+        out: &mut Vec<BitFlip>,
+    ) {
         let start = self.rng.next_index(len);
-        let burst_len = 1usize << self.rng.next_bounded_u32(max_burst_log2 - BURST_LOG2_MIN + 1)
-            .saturating_add(BURST_LOG2_MIN);
+        let burst_len = 1usize
+            << self
+                .rng
+                .next_bounded_u32(max_burst_log2 - BURST_LOG2_MIN + 1)
+                .saturating_add(BURST_LOG2_MIN);
         let bit = bit_lo + self.rng.next_bounded_u32(bit_hi - bit_lo);
         for i in start..(start + burst_len).min(len) {
             out.push(BitFlip { index: i, bit });
@@ -138,7 +148,13 @@ impl FaultInjector for SlackFaultInjector {
         let n = self.sample_events(expected);
         let mut flips = Vec::new();
         for _ in 0..n {
-            self.burst(len, ACC_FAULT_BIT_LO, ACC_FAULT_BIT_HI, BURST_LOG2_MAX, &mut flips);
+            self.burst(
+                len,
+                ACC_FAULT_BIT_LO,
+                ACC_FAULT_BIT_HI,
+                BURST_LOG2_MAX,
+                &mut flips,
+            );
         }
         self.injected += flips.len() as u64;
         flips

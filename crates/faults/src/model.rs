@@ -155,6 +155,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // pins compile-time calibration
     fn pruned_crash_margin_is_tighter() {
         assert!(PRUNED_CRASH_SLACK_RATIO > DENSE_CRASH_SLACK_RATIO);
     }

@@ -320,9 +320,7 @@ impl PmbusTarget for Zcu102Board {
             return Err(PmbusError::DeviceHung { address });
         }
         match command {
-            CommandCode::VoutMode => {
-                Ok(u16::from(linear::vout_mode_from_exponent(VOUT_MODE_EXP)))
-            }
+            CommandCode::VoutMode => Ok(u16::from(linear::vout_mode_from_exponent(VOUT_MODE_EXP))),
             CommandCode::VoutCommand | CommandCode::ReadVout => {
                 linear::linear16_encode(self.rail_mv(rail) / 1000.0, VOUT_MODE_EXP)
             }
@@ -442,7 +440,8 @@ mod tests {
         let mut b = board();
         b.set_load(LoadProfile::nominal());
         let mut host = PmbusAdapter::new();
-        host.set_fan_percent(&mut b, SYSCTRL_ADDRESS, 100.0).unwrap();
+        host.set_fan_percent(&mut b, SYSCTRL_ADDRESS, 100.0)
+            .unwrap();
         let cool = host.read_temperature(&mut b, SYSCTRL_ADDRESS).unwrap();
         host.set_fan_percent(&mut b, SYSCTRL_ADDRESS, 0.0).unwrap();
         let hot = host.read_temperature(&mut b, SYSCTRL_ADDRESS).unwrap();

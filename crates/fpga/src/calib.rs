@@ -163,11 +163,8 @@ pub const DYN_SHARE_FIXED: f64 = 0.30;
 /// (slope ≈1.5 MHz/mV near 570 mV) and ΔVcrash ≈ 18 mV (slope ≈7 MHz/mV
 /// near 540 mV). Boards beyond the three samples draw corners from a
 /// seeded distribution of the same magnitude.
-pub const BOARD_CORNERS: [(f64, f64, f64); 3] = [
-    (0.0, 1.000, 1.00),
-    (-9.0, 0.965, 0.93),
-    (9.0, 1.035, 1.08),
-];
+pub const BOARD_CORNERS: [(f64, f64, f64); 3] =
+    [(0.0, 1.000, 1.00), (-9.0, 0.965, 0.93), (9.0, 1.035, 1.08)];
 
 /// Energy-per-operation scaling exponent vs. operand precision:
 /// `e(bits) = (bits/8)^QUANT_ENERGY_EXP`. Multiplier energy scales roughly
@@ -243,6 +240,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // pins compile-time calibration
     fn crash_ratio_separates_540_from_535() {
         // At 333 MHz: 540 mV must respond, 535 mV must hang.
         assert!(215.0 / F_NOM_MHZ > CRASH_SLACK_RATIO);

@@ -130,7 +130,13 @@ impl PowerModel {
 
     /// Total on-chip (PL rails) power in watts — the quantity the paper
     /// reports as 12.59 W at the nominal point.
-    pub fn on_chip_w(&self, vccint_mv: f64, vccbram_mv: f64, temp_c: f64, load: &LoadProfile) -> f64 {
+    pub fn on_chip_w(
+        &self,
+        vccint_mv: f64,
+        vccbram_mv: f64,
+        temp_c: f64,
+        load: &LoadProfile,
+    ) -> f64 {
         self.vccint_w(vccint_mv, temp_c, load) + self.vccbram_w(vccbram_mv)
     }
 
@@ -314,7 +320,10 @@ mod tests {
                 },
             ) / base;
             assert!(p < prev + 1e-9, "power norm must not increase: {p} at {v}");
-            assert!((p - want).abs() < 0.06, "norm {p:.3} vs paper {want} at {v} mV");
+            assert!(
+                (p - want).abs() < 0.06,
+                "norm {p:.3} vs paper {want} at {v} mV"
+            );
             prev = p;
         }
     }

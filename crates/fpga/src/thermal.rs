@@ -147,7 +147,11 @@ mod tests {
     use crate::calib::{T_REF_C, VNOM_MV};
 
     fn parts() -> (ThermalModel, PowerModel, LoadProfile) {
-        (ThermalModel::new(), PowerModel::default(), LoadProfile::nominal())
+        (
+            ThermalModel::new(),
+            PowerModel::default(),
+            LoadProfile::nominal(),
+        )
     }
 
     #[test]

@@ -64,7 +64,13 @@ impl TimingModel {
     /// point. `crash_slack_ratio` is workload-dependent (regular dataflow
     /// designs tolerate more deficit than irregular ones; the paper's
     /// pruned VGGNet hangs 15 mV earlier than the dense one — Fig. 8).
-    pub fn responds(&self, vccint_mv: f64, f_mhz: f64, temp_c: f64, crash_slack_ratio: f64) -> bool {
+    pub fn responds(
+        &self,
+        vccint_mv: f64,
+        f_mhz: f64,
+        temp_c: f64,
+        crash_slack_ratio: f64,
+    ) -> bool {
         if f_mhz <= 0.0 {
             return true;
         }
@@ -204,8 +210,8 @@ mod tests {
                 + 5.0 // last responding step
         };
         let vs: Vec<f64> = (0..3).map(vcrash_of).collect();
-        let spread =
-            vs.iter().cloned().fold(f64::MIN, f64::max) - vs.iter().cloned().fold(f64::MAX, f64::min);
+        let spread = vs.iter().cloned().fold(f64::MIN, f64::max)
+            - vs.iter().cloned().fold(f64::MAX, f64::min);
         assert!(
             (10.0..=30.0).contains(&spread),
             "ΔVcrash = {spread} (paper: 18 mV); vcrash = {vs:?}"

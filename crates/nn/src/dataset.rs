@@ -56,9 +56,7 @@ impl SyntheticDataset {
                             let mut v = 0.0;
                             for (fy, fx, phase, amp) in &waves {
                                 v += amp
-                                    * (fy * y as f64 + fx * x as f64
-                                        + phase
-                                        + ch as f64 * 1.7)
+                                    * (fy * y as f64 + fx * x as f64 + phase + ch as f64 * 1.7)
                                         .sin();
                             }
                             data.push((v / 3.0) as f32);
@@ -243,7 +241,10 @@ mod tests {
             .collect();
         let acc = set.accuracy(&preds);
         // round(0.86*40)=34 -> 0.85.
-        assert!((acc - (0.86f64 * 40.0).round() / 40.0).abs() < 1e-9, "{acc}");
+        assert!(
+            (acc - (0.86f64 * 40.0).round() / 40.0).abs() < 1e-9,
+            "{acc}"
+        );
     }
 
     #[test]
@@ -255,7 +256,11 @@ mod tests {
             .iter()
             .map(|img| q.predict(img).unwrap())
             .collect();
-        let hits = preds.iter().zip(&set.labels).filter(|(p, l)| p == l).count();
+        let hits = preds
+            .iter()
+            .zip(&set.labels)
+            .filter(|(p, l)| p == l)
+            .count();
         assert_eq!(hits, 15);
         for l in &set.labels {
             assert!(*l < 10);

@@ -551,7 +551,9 @@ impl Graph {
                     let s = self.shapes[id];
                     (s.h * s.w * s.c * params.k * params.k * params.in_ch) as u64
                 }
-                Op::Dense { in_len, out_len, .. } => (in_len * out_len) as u64,
+                Op::Dense {
+                    in_len, out_len, ..
+                } => (in_len * out_len) as u64,
                 _ => 0,
             };
         }
@@ -687,8 +689,7 @@ impl Graph {
                 }
                 for (o, m) in means.iter_mut().enumerate() {
                     let ws = &weights[o * in_len..(o + 1) * in_len];
-                    let z: f32 =
-                        bias[o] + x.iter().zip(ws).map(|(a, b)| a * b).sum::<f32>();
+                    let z: f32 = bias[o] + x.iter().zip(ws).map(|(a, b)| a * b).sum::<f32>();
                     *m += f64::from(z);
                 }
             }
@@ -856,6 +857,7 @@ fn conv2d_f32(input: &Tensor, p: &ConvParams, weights: &[f32], bias: &[f32]) -> 
         for ox in 0..ow {
             let base_y = (oy * p.stride) as isize - p.pad as isize;
             let base_x = (ox * p.stride) as isize - p.pad as isize;
+            #[allow(clippy::needless_range_loop)] // oc also strides the weight base
             for oc in 0..p.out_ch {
                 let wbase = oc * k2ic;
                 let mut acc = bias[oc];
@@ -942,8 +944,8 @@ fn global_avg_pool(input: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; input.c()];
     for y in 0..input.h() {
         for x in 0..input.w() {
-            for c in 0..input.c() {
-                out[c] += input.at(y, x, c);
+            for (c, acc) in out.iter_mut().enumerate() {
+                *acc += input.at(y, x, c);
             }
         }
     }
@@ -1069,10 +1071,7 @@ mod tests {
         let g = b.finish(y);
         let img = Tensor::from_vec(3, 3, 1, vec![1.0; 9]);
         let out = g.forward(&img).unwrap();
-        assert_eq!(
-            out.data(),
-            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
-        );
+        assert_eq!(out.data(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
 
     #[test]
@@ -1105,9 +1104,7 @@ mod tests {
             vec![10.0, 0.0],
         );
         let g = b.finish(y);
-        let out = g
-            .forward(&Tensor::vector(vec![1.0, 2.0, 3.0]))
-            .unwrap();
+        let out = g.forward(&Tensor::vector(vec![1.0, 2.0, 3.0])).unwrap();
         assert_eq!(out.data(), &[10.0 + 1.0 - 3.0, 3.0]);
     }
 
@@ -1133,12 +1130,7 @@ mod tests {
         let x = b.input(2, 2, 2);
         let p = b.global_avg_pool("gap", x);
         let g = b.finish(p);
-        let img = Tensor::from_vec(
-            2,
-            2,
-            2,
-            vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0],
-        );
+        let img = Tensor::from_vec(2, 2, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
         assert_eq!(g.forward(&img).unwrap().data(), &[2.5, 25.0]);
     }
 
@@ -1180,7 +1172,14 @@ mod tests {
     fn batch_norm_normalizes() {
         let mut b = GraphBuilder::new();
         let x = b.input(1, 1, 2);
-        let y = b.batch_norm("bn", x, vec![2.0, 1.0], vec![1.0, 0.0], vec![5.0, 0.0], vec![4.0, 1.0]);
+        let y = b.batch_norm(
+            "bn",
+            x,
+            vec![2.0, 1.0],
+            vec![1.0, 0.0],
+            vec![5.0, 0.0],
+            vec![4.0, 1.0],
+        );
         let g = b.finish(y);
         let out = g.forward(&Tensor::vector(vec![7.0, 3.0])).unwrap();
         // ch0: 2*(7-5)/2 + 1 = 3; ch1: (3-0)/1 = 3.
@@ -1200,7 +1199,9 @@ mod tests {
             pad: 1,
             relu: false,
         };
-        let w: Vec<f32> = (0..p.weight_count()).map(|i| (i as f32 * 0.7).sin()).collect();
+        let w: Vec<f32> = (0..p.weight_count())
+            .map(|i| (i as f32 * 0.7).sin())
+            .collect();
         let y = b.conv("c", x, p, w, vec![0.1, -0.2]);
         let z = b.batch_norm(
             "bn",

@@ -8,7 +8,11 @@
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     assert!(!labels.is_empty(), "empty evaluation");
-    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     hits as f64 / labels.len() as f64
 }
 
@@ -60,7 +64,10 @@ impl Confusion {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, label: usize, prediction: usize) {
-        assert!(label < self.classes && prediction < self.classes, "class out of range");
+        assert!(
+            label < self.classes && prediction < self.classes,
+            "class out of range"
+        );
         self.counts[label * self.classes + prediction] += 1;
     }
 

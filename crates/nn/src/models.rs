@@ -244,14 +244,23 @@ impl WeightInit {
     fn bn_params(&mut self, c: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
         self.layer += 1;
         let mut rng = self.rng.substream(self.layer);
-        let gamma = (0..c).map(|_| 1.0 + rng.next_gaussian(0.0, 0.05) as f32).collect();
-        let beta = (0..c).map(|_| rng.next_gaussian(0.0, 0.02) as f32).collect();
-        let mean = (0..c).map(|_| rng.next_gaussian(0.0, 0.05) as f32).collect();
-        let var = (0..c).map(|_| (1.0 + rng.next_gaussian(0.0, 0.1)).abs().max(0.25) as f32).collect();
+        let gamma = (0..c)
+            .map(|_| 1.0 + rng.next_gaussian(0.0, 0.05) as f32)
+            .collect();
+        let beta = (0..c)
+            .map(|_| rng.next_gaussian(0.0, 0.02) as f32)
+            .collect();
+        let mean = (0..c)
+            .map(|_| rng.next_gaussian(0.0, 0.05) as f32)
+            .collect();
+        let var = (0..c)
+            .map(|_| (1.0 + rng.next_gaussian(0.0, 0.1)).abs().max(0.25) as f32)
+            .collect();
         (gamma, beta, mean, var)
     }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the layer hyper-parameter list
 fn conv(
     b: &mut GraphBuilder,
     init: &mut WeightInit,
@@ -321,7 +330,17 @@ fn inception_module(
     br4: usize,
 ) -> NodeId {
     let p1 = conv(b, init, &format!("{name}_1x1"), x, br1, 1, 1, 0, true);
-    let r2 = conv(b, init, &format!("{name}_3x3r"), x, br2_reduce, 1, 1, 0, true);
+    let r2 = conv(
+        b,
+        init,
+        &format!("{name}_3x3r"),
+        x,
+        br2_reduce,
+        1,
+        1,
+        0,
+        true,
+    );
     let p2 = conv(b, init, &format!("{name}_3x3"), r2, br2, 3, 1, 1, true);
     let p3 = conv(b, init, &format!("{name}_d3x3"), x, br3, 3, 1, 1, true);
     let p4 = conv(b, init, &format!("{name}_proj"), x, br4, 1, 1, 0, true);
@@ -339,10 +358,40 @@ fn build_googlenet(s: ModelScale, init: &mut WeightInit) -> Graph {
     let x = conv(&mut b, init, "stem3", x, s.ch(24), 3, 1, 1, true);
     let x = conv(&mut b, init, "stem4", x, s.ch(32), 3, 1, 1, true);
     let x = b.max_pool("pool2", x, 2, 2);
-    let x = inception_module(&mut b, init, "inc1", x, s.ch(8), s.ch(8), s.ch(12), s.ch(8), s.ch(4));
-    let x = inception_module(&mut b, init, "inc2", x, s.ch(12), s.ch(8), s.ch(16), s.ch(12), s.ch(8));
+    let x = inception_module(
+        &mut b,
+        init,
+        "inc1",
+        x,
+        s.ch(8),
+        s.ch(8),
+        s.ch(12),
+        s.ch(8),
+        s.ch(4),
+    );
+    let x = inception_module(
+        &mut b,
+        init,
+        "inc2",
+        x,
+        s.ch(12),
+        s.ch(8),
+        s.ch(16),
+        s.ch(12),
+        s.ch(8),
+    );
     let x = b.max_pool("pool3", x, 2, 2);
-    let x = inception_module(&mut b, init, "inc3", x, s.ch(16), s.ch(12), s.ch(24), s.ch(16), s.ch(8));
+    let x = inception_module(
+        &mut b,
+        init,
+        "inc3",
+        x,
+        s.ch(16),
+        s.ch(12),
+        s.ch(24),
+        s.ch(16),
+        s.ch(8),
+    );
     let x = b.global_avg_pool("gap", x);
     let x = dense(&mut b, init, "fc1", x, s.ch(32), true);
     let x = dense(&mut b, init, "fc2", x, 10, false);
@@ -390,7 +439,17 @@ fn bottleneck(
     let c2 = b.batch_norm(&format!("{name}_bn"), c2, g, be, m, v);
     let c3 = conv(b, init, &format!("{name}_c"), c2, out, 1, 1, 0, false);
     let shortcut = if in_ch != out || stride != 1 {
-        conv(b, init, &format!("{name}_proj"), x, out, 1, stride, 0, false)
+        conv(
+            b,
+            init,
+            &format!("{name}_proj"),
+            x,
+            out,
+            1,
+            stride,
+            0,
+            false,
+        )
     } else {
         x
     };
@@ -439,10 +498,40 @@ fn build_inception(s: ModelScale, init: &mut WeightInit) -> Graph {
     let x = conv(&mut b, init, "stem3", x, s.ch(32), 3, 1, 1, true);
     let x = conv(&mut b, init, "stem4", x, s.ch(32), 1, 1, 0, true);
     let x = b.max_pool("pool1", x, 2, 2);
-    let x = inception_module(&mut b, init, "inc1", x, s.ch(12), s.ch(12), s.ch(16), s.ch(12), s.ch(8));
-    let x = inception_module(&mut b, init, "inc2", x, s.ch(16), s.ch(16), s.ch(24), s.ch(16), s.ch(8));
+    let x = inception_module(
+        &mut b,
+        init,
+        "inc1",
+        x,
+        s.ch(12),
+        s.ch(12),
+        s.ch(16),
+        s.ch(12),
+        s.ch(8),
+    );
+    let x = inception_module(
+        &mut b,
+        init,
+        "inc2",
+        x,
+        s.ch(16),
+        s.ch(16),
+        s.ch(24),
+        s.ch(16),
+        s.ch(8),
+    );
     let x = b.max_pool("pool2", x, 2, 2);
-    let x = inception_module(&mut b, init, "inc3", x, s.ch(24), s.ch(16), s.ch(32), s.ch(24), s.ch(16));
+    let x = inception_module(
+        &mut b,
+        init,
+        "inc3",
+        x,
+        s.ch(24),
+        s.ch(16),
+        s.ch(32),
+        s.ch(24),
+        s.ch(16),
+    );
     let x = conv(&mut b, init, "expand", x, s.ch(256), 1, 1, 0, true);
     let x = b.global_avg_pool("gap", x);
     let x = dense(&mut b, init, "fc1", x, s.ch(896), true);
@@ -461,7 +550,9 @@ mod tests {
             hw,
             hw,
             3,
-            (0..hw * hw * 3).map(|i| ((i as f32) * 0.013).sin()).collect(),
+            (0..hw * hw * 3)
+                .map(|i| ((i as f32) * 0.013).sin())
+                .collect(),
         )
     }
 
@@ -474,7 +565,11 @@ mod tests {
             let out = g.forward(&img).unwrap();
             assert_eq!(out.len(), spec.classes, "{}", kind.name());
             let sum: f32 = out.data().iter().sum();
-            assert!((sum - 1.0).abs() < 1e-4, "{} softmax sum {sum}", kind.name());
+            assert!(
+                (sum - 1.0).abs() < 1e-4,
+                "{} softmax sum {sum}",
+                kind.name()
+            );
         }
     }
 

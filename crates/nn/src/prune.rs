@@ -92,10 +92,21 @@ pub fn unstructured(graph: &Graph, fraction: f64) -> Graph {
                 ..
             } => {
                 let w = zero_smallest(weights, fraction);
-                b.dense(&node.name, id_map[node.inputs[0]], *out_len, *relu, w, bias.clone())
+                b.dense(
+                    &node.name,
+                    id_map[node.inputs[0]],
+                    *out_len,
+                    *relu,
+                    w,
+                    bias.clone(),
+                )
             }
-            Op::MaxPool { k, stride } => b.max_pool(&node.name, id_map[node.inputs[0]], *k, *stride),
-            Op::AvgPool { k, stride } => b.avg_pool(&node.name, id_map[node.inputs[0]], *k, *stride),
+            Op::MaxPool { k, stride } => {
+                b.max_pool(&node.name, id_map[node.inputs[0]], *k, *stride)
+            }
+            Op::AvgPool { k, stride } => {
+                b.avg_pool(&node.name, id_map[node.inputs[0]], *k, *stride)
+            }
             Op::GlobalAvgPool => b.global_avg_pool(&node.name, id_map[node.inputs[0]]),
             Op::BatchNorm {
                 gamma,
@@ -111,7 +122,12 @@ pub fn unstructured(graph: &Graph, fraction: f64) -> Graph {
                 mean.clone(),
                 var.clone(),
             ),
-            Op::Add { relu } => b.add(&node.name, id_map[node.inputs[0]], id_map[node.inputs[1]], *relu),
+            Op::Add { relu } => b.add(
+                &node.name,
+                id_map[node.inputs[0]],
+                id_map[node.inputs[1]],
+                *relu,
+            ),
             Op::Concat => {
                 let ins: Vec<usize> = node.inputs.iter().map(|&i| id_map[i]).collect();
                 b.concat(&node.name, &ins)
@@ -266,8 +282,10 @@ pub fn channel_prune(graph: &Graph, fraction: f64) -> Result<Graph, PruneError> 
                         .collect();
                     norms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
                     let n = (((*out_len) as f64) * (1.0 - fraction)).round() as usize;
-                    let mut ks: Vec<usize> =
-                        norms[..n.clamp(1, *out_len)].iter().map(|(o, _)| *o).collect();
+                    let mut ks: Vec<usize> = norms[..n.clamp(1, *out_len)]
+                        .iter()
+                        .map(|(o, _)| *o)
+                        .collect();
                     ks.sort_unstable();
                     ks
                 } else {
@@ -332,7 +350,12 @@ mod tests {
     }
 
     fn img() -> Tensor {
-        Tensor::from_vec(32, 32, 3, (0..3072).map(|i| ((i as f32) * 0.01).sin()).collect())
+        Tensor::from_vec(
+            32,
+            32,
+            3,
+            (0..3072).map(|i| ((i as f32) * 0.01).sin()).collect(),
+        )
     }
 
     #[test]
@@ -365,7 +388,12 @@ mod tests {
     fn channel_prune_reduces_macs_and_params() {
         let g = vgg();
         let p = channel_prune(&g, 0.5).unwrap();
-        assert!(p.mac_count() < g.mac_count() / 2, "{} vs {}", p.mac_count(), g.mac_count());
+        assert!(
+            p.mac_count() < g.mac_count() / 2,
+            "{} vs {}",
+            p.mac_count(),
+            g.mac_count()
+        );
         assert!(p.param_count() < g.param_count() / 2);
         // Classifier outputs preserved.
         assert_eq!(p.num_classes(), 10);

@@ -36,8 +36,12 @@ pub trait FaultInjector {
 
     /// Plans flips in the `len` output accumulators of this layer, where
     /// each accumulator is produced by `macs_per_out` MAC operations.
-    fn plan_accumulator_faults(&mut self, layer: &str, len: usize, macs_per_out: usize)
-        -> Vec<BitFlip>;
+    fn plan_accumulator_faults(
+        &mut self,
+        layer: &str,
+        len: usize,
+        macs_per_out: usize,
+    ) -> Vec<BitFlip>;
 
     /// Plans flips in the `len` activation codes written by this layer.
     fn plan_activation_faults(&mut self, layer: &str, len: usize, bits: u32) -> Vec<BitFlip>;
@@ -223,17 +227,16 @@ impl QuantizedGraph {
                 } => {
                     let in_scale = scale_of(&nodes, node.inputs[0]);
                     let k2ic = params.k * params.k * params.in_ch;
-                    let tensor_max =
-                        f64::from(weights.iter().fold(0.0f32, |m, &w| m.max(w.abs())));
+                    let tensor_max = f64::from(weights.iter().fold(0.0f32, |m, &w| m.max(w.abs())));
                     let mut wcodes = Vec::with_capacity(weights.len());
                     let mut wscales = Vec::with_capacity(params.out_ch);
                     let mut bias_q = Vec::with_capacity(params.out_ch);
                     for oc in 0..params.out_ch {
                         let block = &weights[oc * k2ic..(oc + 1) * k2ic];
                         let max_abs = match granularity {
-                            Granularity::PerChannel => f64::from(
-                                block.iter().fold(0.0f32, |m, &w| m.max(w.abs())),
-                            ),
+                            Granularity::PerChannel => {
+                                f64::from(block.iter().fold(0.0f32, |m, &w| m.max(w.abs())))
+                            }
                             Granularity::PerTensor => tensor_max,
                         };
                         let wq = QuantScale::for_max_abs(max_abs, format);
@@ -257,8 +260,7 @@ impl QuantizedGraph {
                     bias,
                 } => {
                     let in_scale = scale_of(&nodes, node.inputs[0]);
-                    let tensor_max =
-                        f64::from(weights.iter().fold(0.0f32, |m, &w| m.max(w.abs())));
+                    let tensor_max = f64::from(weights.iter().fold(0.0f32, |m, &w| m.max(w.abs())));
                     let mut wcodes = Vec::with_capacity(weights.len());
                     let mut wscales = Vec::with_capacity(*out_len);
                     let mut bias_q = Vec::with_capacity(*out_len);
@@ -591,12 +593,7 @@ impl QuantizedGraph {
                     wscales,
                     bias_q,
                 } => {
-                    let reverts = apply_weight_faults(
-                        injector,
-                        &name,
-                        wcodes,
-                        format,
-                    );
+                    let reverts = apply_weight_faults(injector, &name, wcodes, format);
                     let input = &acts[inputs[0]];
                     let macs_per_out = params.k * params.k * params.in_ch;
                     let mut acc = conv2d_q(input, params, wcodes, bias_q);
@@ -647,13 +644,9 @@ impl QuantizedGraph {
                     avg_pool_q(&acts[inputs[0]], *k, *stride, out_scale, format)
                 }
                 QOp::GlobalAvgPool => global_avg_pool_q(&acts[inputs[0]], out_scale, format),
-                QOp::Add { relu } => add_q(
-                    &acts[inputs[0]],
-                    &acts[inputs[1]],
-                    out_scale,
-                    *relu,
-                    format,
-                ),
+                QOp::Add { relu } => {
+                    add_q(&acts[inputs[0]], &acts[inputs[1]], out_scale, *relu, format)
+                }
                 QOp::Concat => concat_q(
                     &inputs.iter().map(|&i| &acts[i]).collect::<Vec<_>>(),
                     shape,
@@ -761,7 +754,13 @@ fn conv2d_q(input: &QTensor, p: &ConvParams, wcodes: &[i8], bias_q: &[i32]) -> V
     acc
 }
 
-fn dense_q(input: &QTensor, in_len: usize, out_len: usize, wcodes: &[i8], bias_q: &[i32]) -> Vec<i32> {
+fn dense_q(
+    input: &QTensor,
+    in_len: usize,
+    out_len: usize,
+    wcodes: &[i8],
+    bias_q: &[i32],
+) -> Vec<i32> {
     debug_assert_eq!(input.codes.len(), in_len);
     let mut acc = vec![0i32; out_len];
     for (o, a) in acc.iter_mut().enumerate() {
@@ -828,7 +827,13 @@ fn max_pool_q(input: &QTensor, k: usize, stride: usize) -> QTensor {
 /// and requantizes to the node's calibrated output scale, so the averaged
 /// values keep their resolution instead of being crushed to the input's
 /// integer grid.
-fn avg_pool_q(input: &QTensor, k: usize, stride: usize, out_scale: f32, format: IntFormat) -> QTensor {
+fn avg_pool_q(
+    input: &QTensor,
+    k: usize,
+    stride: usize,
+    out_scale: f32,
+    format: IntFormat,
+) -> QTensor {
     let oh = (input.h() - k) / stride + 1;
     let ow = (input.w() - k) / stride + 1;
     let c = input.c();
@@ -937,7 +942,9 @@ mod tests {
             .collect();
         let y = b.conv("c1", x, p, w, vec![0.05, -0.05, 0.0]);
         let m = b.max_pool("mp", y, 2, 2);
-        let wfc: Vec<f32> = (0..2 * 2 * 3 * 4).map(|i| ((i as f32) * 0.73).cos() * 0.4).collect();
+        let wfc: Vec<f32> = (0..2 * 2 * 3 * 4)
+            .map(|i| ((i as f32) * 0.73).cos() * 0.4)
+            .collect();
         let z = b.dense("fc", m, 4, false, wfc, vec![0.0; 4]);
         let s = b.softmax("sm", z);
         b.finish(s)
@@ -1063,7 +1070,14 @@ mod tests {
     fn rejects_unfolded_batch_norm() {
         let mut b = GraphBuilder::new();
         let x = b.input(1, 1, 2);
-        let y = b.batch_norm("bn", x, vec![1.0; 2], vec![0.0; 2], vec![0.0; 2], vec![1.0; 2]);
+        let y = b.batch_norm(
+            "bn",
+            x,
+            vec![1.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
+            vec![1.0; 2],
+        );
         let g = b.finish(y);
         let img = Tensor::vector(vec![0.1, 0.2]);
         assert!(QuantizedGraph::quantize(&g, 8, &[img]).is_err());
@@ -1120,7 +1134,9 @@ mod tests {
                 .collect();
             let y = b.conv("c", x, p, w, vec![0.0; 6]);
             let gpool = b.global_avg_pool("gap", y);
-            let wfc: Vec<f32> = (0..6 * 4).map(|i| ((i as f32) * 0.73).cos() * 0.5).collect();
+            let wfc: Vec<f32> = (0..6 * 4)
+                .map(|i| ((i as f32) * 0.73).cos() * 0.5)
+                .collect();
             let d = b.dense("fc", gpool, 4, false, wfc, vec![0.0; 4]);
             b.finish(d)
         };
@@ -1165,7 +1181,7 @@ mod tests {
         let g = b.finish(cat);
         let img = Tensor::from_vec(2, 2, 2, vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.7, 0.8]);
         let f = g.forward(&img).unwrap();
-        let mut q = QuantizedGraph::quantize(&g, 8, &[img.clone()]).unwrap();
+        let mut q = QuantizedGraph::quantize(&g, 8, std::slice::from_ref(&img)).unwrap();
         let qo = q.forward(&img).unwrap();
         for (a, b) in f.data().iter().zip(qo.data()) {
             assert!((a - b).abs() < 0.05, "{a} vs {b}");

@@ -41,7 +41,12 @@ impl Tensor {
     /// Creates a flat vector tensor of length `n` (shape `(1, 1, n)`).
     pub fn vector(data: Vec<f32>) -> Self {
         let n = data.len();
-        Tensor { h: 1, w: 1, c: n, data }
+        Tensor {
+            h: 1,
+            w: 1,
+            c: n,
+            data,
+        }
     }
 
     /// Height.
@@ -85,7 +90,10 @@ impl Tensor {
     ///
     /// Panics if the coordinates are out of range.
     pub fn at(&self, y: usize, x: usize, ch: usize) -> f32 {
-        assert!(y < self.h && x < self.w && ch < self.c, "index out of range");
+        assert!(
+            y < self.h && x < self.w && ch < self.c,
+            "index out of range"
+        );
         self.data[(y * self.w + x) * self.c + ch]
     }
 
@@ -95,7 +103,10 @@ impl Tensor {
     ///
     /// Panics if the coordinates are out of range.
     pub fn set(&mut self, y: usize, x: usize, ch: usize, v: f32) {
-        assert!(y < self.h && x < self.w && ch < self.c, "index out of range");
+        assert!(
+            y < self.h && x < self.w && ch < self.c,
+            "index out of range"
+        );
         self.data[(y * self.w + x) * self.c + ch] = v;
     }
 
@@ -187,7 +198,10 @@ impl QTensor {
             self.h,
             self.w,
             self.c,
-            self.codes.iter().map(|&q| f32::from(q) * self.scale).collect(),
+            self.codes
+                .iter()
+                .map(|&q| f32::from(q) * self.scale)
+                .collect(),
         )
     }
 }

@@ -14,6 +14,7 @@
 /// # Panics
 ///
 /// Panics if buffer sizes disagree or a label is out of range.
+#[allow(clippy::too_many_arguments)] // full training-problem description
 pub fn fit_softmax_regression(
     features: &[Vec<f32>],
     labels: &[usize],

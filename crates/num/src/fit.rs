@@ -48,7 +48,13 @@ pub fn golden_section_min(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: 
 /// # Panics
 ///
 /// Panics if `n < 3` or the bracket is invalid.
-pub fn grid_then_golden(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, n: usize, tol: f64) -> f64 {
+pub fn grid_then_golden(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    n: usize,
+    tol: f64,
+) -> f64 {
     assert!(n >= 3, "need at least three grid points");
     assert!(lo < hi, "invalid bracket");
     let step = (hi - lo) / (n - 1) as f64;

@@ -84,7 +84,7 @@ impl IntFormat {
     /// pattern is read back as a two's-complement number of the same width.
     pub fn sign_extend(self, raw: u32) -> i32 {
         let shift = 32 - self.bits;
-        (((raw << shift) as i32) >> shift) as i32
+        ((raw << shift) as i32) >> shift
     }
 
     /// The raw (unsigned) bit pattern of a representable value.

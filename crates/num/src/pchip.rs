@@ -130,7 +130,12 @@ fn derivatives(xs: &[f64], ys: &[f64]) -> Vec<f64> {
     }
 
     // Endpoints: one-sided three-point formula, clamped to preserve shape.
-    d[0] = endpoint(h[0], h.get(1).copied().unwrap_or(h[0]), delta[0], delta.get(1).copied().unwrap_or(delta[0]));
+    d[0] = endpoint(
+        h[0],
+        h.get(1).copied().unwrap_or(h[0]),
+        delta[0],
+        delta.get(1).copied().unwrap_or(delta[0]),
+    );
     d[n - 1] = endpoint(
         h[n - 2],
         if n >= 3 { h[n - 3] } else { h[n - 2] },
@@ -176,17 +181,16 @@ mod tests {
 
     #[test]
     fn preserves_monotonicity_on_increasing_data() {
-        let xs = [540.0, 545.0, 550.0, 555.0, 560.0, 565.0, 570.0, 650.0, 850.0];
+        let xs = [
+            540.0, 545.0, 550.0, 555.0, 560.0, 565.0, 570.0, 650.0, 850.0,
+        ];
         let ys = [3.38, 3.55, 3.7, 3.85, 4.1, 4.5, 4.84, 7.0, 12.59];
         let p = Pchip::new(&xs, &ys).unwrap();
         let mut prev = p.eval(540.0);
         let mut v = 540.5;
         while v <= 850.0 {
             let cur = p.eval(v);
-            assert!(
-                cur >= prev - 1e-9,
-                "non-monotone at {v}: {cur} < {prev}"
-            );
+            assert!(cur >= prev - 1e-9, "non-monotone at {v}: {cur} < {prev}");
             prev = cur;
             v += 0.5;
         }

@@ -21,8 +21,12 @@ pub trait PmbusTarget {
     /// Implementations return [`PmbusError`] variants for unknown addresses,
     /// unsupported or read-only commands, out-of-range values, and hung
     /// devices.
-    fn write_word(&mut self, address: u8, command: CommandCode, word: u16)
-        -> Result<(), PmbusError>;
+    fn write_word(
+        &mut self,
+        address: u8,
+        command: CommandCode,
+        word: u16,
+    ) -> Result<(), PmbusError>;
 
     /// Handles a word read from `(address, command)`.
     ///
@@ -180,9 +184,9 @@ impl PmbusTarget for SimpleRegulator {
     fn read_word(&mut self, address: u8, command: CommandCode) -> Result<u16, PmbusError> {
         self.check(address, command)?;
         match command {
-            CommandCode::VoutMode => {
-                Ok(u16::from(linear::vout_mode_from_exponent(self.vout_mode_exp)))
-            }
+            CommandCode::VoutMode => Ok(u16::from(linear::vout_mode_from_exponent(
+                self.vout_mode_exp,
+            ))),
             CommandCode::VoutCommand => {
                 linear::linear16_encode(self.vout_command_v, self.vout_mode_exp)
             }
@@ -227,7 +231,8 @@ mod tests {
     fn vout_command_round_trips() {
         let mut reg = SimpleRegulator::new(0x13, 0.85);
         let word = linear::linear16_encode(0.570, -12).unwrap();
-        reg.write_word(0x13, CommandCode::VoutCommand, word).unwrap();
+        reg.write_word(0x13, CommandCode::VoutCommand, word)
+            .unwrap();
         let back =
             linear::linear16_decode(reg.read_word(0x13, CommandCode::ReadVout).unwrap(), -12);
         assert!((back - 0.570).abs() < 1e-3);

@@ -134,10 +134,8 @@ mod tests {
         let mut bus = two_rail_bus();
         let w = linear::linear16_encode(0.6, -12).unwrap();
         bus.write_word(0x13, CommandCode::VoutCommand, w).unwrap();
-        let v13 =
-            linear::linear16_decode(bus.read_word(0x13, CommandCode::ReadVout).unwrap(), -12);
-        let v14 =
-            linear::linear16_decode(bus.read_word(0x14, CommandCode::ReadVout).unwrap(), -12);
+        let v13 = linear::linear16_decode(bus.read_word(0x13, CommandCode::ReadVout).unwrap(), -12);
+        let v14 = linear::linear16_decode(bus.read_word(0x14, CommandCode::ReadVout).unwrap(), -12);
         assert!((v13 - 0.6).abs() < 1e-3);
         assert!((v14 - 0.85).abs() < 1e-3);
     }

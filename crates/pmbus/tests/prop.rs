@@ -41,6 +41,69 @@ proptest! {
     }
 
     #[test]
+    fn linear11_exactly_representable_values_round_trip_exactly(
+        exp in -16i32..=15,
+        mant in -1024i32..=1023,
+    ) {
+        // Every (mantissa, exponent) pair names an exactly-representable
+        // value; the encoder may pick a different (finer) exponent but must
+        // reproduce the value bit-for-bit. This walks the FULL exponent
+        // range including every negative mantissa.
+        let v = f64::from(mant) * f64::powi(2.0, exp);
+        let word = linear::linear11_encode(v).unwrap();
+        prop_assert_eq!(linear::linear11_decode(word), v, "exp={} mant={}", exp, mant);
+    }
+
+    #[test]
+    fn linear11_saturates_exactly_at_the_mantissa_edges(exp in -16i32..=15) {
+        // The saturation edges at each exponent: the largest encodable
+        // magnitudes are 1023·2^15 and -1024·2^15; per-exponent edge values
+        // ±(1024·2^exp) must still encode (the encoder escalates to a
+        // coarser exponent) until the global ceiling.
+        let step = f64::powi(2.0, exp);
+        prop_assert_eq!(
+            linear::linear11_decode(linear::linear11_encode(1023.0 * step).unwrap()),
+            1023.0 * step
+        );
+        prop_assert_eq!(
+            linear::linear11_decode(linear::linear11_encode(-1024.0 * step).unwrap()),
+            -1024.0 * step
+        );
+    }
+
+    #[test]
+    fn linear11_rejects_just_past_the_global_range(frac in 1u32..1000) {
+        // Global ceiling: 1023·2^15. Anything that rounds past it at the
+        // coarsest exponent is unencodable — no silent wraparound.
+        let max = 1023.0 * f64::powi(2.0, 15);
+        let over = max * (1.0 + f64::from(frac) / 1000.0);
+        prop_assert!(linear::linear11_encode(over).is_err(), "{over} encoded");
+        prop_assert!(linear::linear11_encode(-over * 2.0).is_err());
+    }
+
+    #[test]
+    fn linear16_mantissa_round_trips_across_full_exponent_range(
+        exp in -16i32..=15,
+        mant in any::<u16>(),
+    ) {
+        // decode∘encode is the identity on mantissas for EVERY VOUT_MODE
+        // exponent, including the u16::MAX saturation edge.
+        let v = linear::linear16_decode(mant, exp as i8);
+        prop_assert_eq!(linear::linear16_encode(v, exp as i8).unwrap(), mant);
+    }
+
+    #[test]
+    fn linear16_rejects_just_past_u16_saturation(exp in -16i32..=15) {
+        let step = f64::powi(2.0, exp);
+        // The top mantissa encodes; one step beyond it does not.
+        prop_assert_eq!(
+            linear::linear16_encode(65535.0 * step, exp as i8).unwrap(),
+            u16::MAX
+        );
+        prop_assert!(linear::linear16_encode(65536.0 * step, exp as i8).is_err());
+    }
+
+    #[test]
     fn regulator_accepts_any_in_window_voltage(mv in 100u32..1900) {
         let v = f64::from(mv) / 1000.0;
         let mut reg = SimpleRegulator::new(0x13, 0.85);

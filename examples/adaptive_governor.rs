@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = run_governor(&mut acc, &GovernorConfig::default(), 140)?;
 
     println!("governor trajectory (every 10th batch):");
-    println!("{:>6} {:>9} {:>9} {:>7}", "batch", "VCCINT", "power W", "faults");
+    println!(
+        "{:>6} {:>9} {:>9} {:>7}",
+        "batch", "VCCINT", "power W", "faults"
+    );
     for step in trace.steps.iter().step_by(10) {
         println!(
             "{:>6} {:>7.0}mV {:>9.2} {:>7}{}",
@@ -29,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             step.vccint_mv,
             step.power_w,
             step.faults,
-            if step.crashed { "  [CRASH->power-cycle]" } else { "" }
+            if step.crashed {
+                "  [CRASH->power-cycle]"
+            } else {
+                ""
+            }
         );
     }
     let first = trace.steps.first().expect("non-empty trace");

@@ -37,11 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    println!("\n{:>7} {:>6} {:>6} {:>7} {:>7} {:>7}", "VCCINT", "Fmax", "GOPs", "Power", "GOPs/W", "GOPs/J");
+    println!(
+        "\n{:>7} {:>6} {:>6} {:>7} {:>7} {:>7}",
+        "VCCINT", "Fmax", "GOPs", "Power", "GOPs/W", "GOPs/J"
+    );
     for r in &rows {
         println!(
             "{:>5.0}mV {:>6.0} {:>6.2} {:>7.2} {:>7.2} {:>7.2}",
-            r.vccint_mv, r.fmax_mhz, r.gops_norm, r.power_norm, r.gops_per_w_norm, r.gops_per_j_norm
+            r.vccint_mv,
+            r.fmax_mhz,
+            r.gops_norm,
+            r.power_norm,
+            r.gops_per_w_norm,
+            r.gops_per_j_norm
         );
     }
     let best_j = rows

@@ -48,8 +48,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mean = vmins.iter().sum::<f64>() / vmins.len() as f64;
     let spread = vmins.iter().cloned().fold(f64::MIN, f64::max)
         - vmins.iter().cloned().fold(f64::MAX, f64::min);
-    println!(
-        "\nmean Vmin {mean:.0} mV (paper: 570), spread {spread:.0} mV (paper dVmin: 31)"
-    );
+    println!("\nmean Vmin {mean:.0} mV (paper: 570), spread {spread:.0} mV (paper dVmin: 31)");
     Ok(())
 }

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
 
     println!("GoogleNet on ZCU102 sample 0 (3x B4096 @ 333 MHz, INT8)\n");
-    println!("{:>8} {:>9} {:>8} {:>9} {:>7}", "VCCINT", "power W", "GOPs", "GOPs/W", "acc");
+    println!(
+        "{:>8} {:>9} {:>8} {:>9} {:>7}",
+        "VCCINT", "power W", "GOPs", "GOPs/W", "acc"
+    );
 
     // Nominal operation.
     let nominal = acc.measure(100)?;

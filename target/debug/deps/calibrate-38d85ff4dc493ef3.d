@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-38d85ff4dc493ef3.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-38d85ff4dc493ef3: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

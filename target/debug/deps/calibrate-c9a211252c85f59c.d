@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-c9a211252c85f59c.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-c9a211252c85f59c: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

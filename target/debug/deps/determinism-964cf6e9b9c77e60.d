@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-964cf6e9b9c77e60.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-964cf6e9b9c77e60: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ca2e07acc1253f93.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ca2e07acc1253f93: tests/end_to_end.rs
+
+tests/end_to_end.rs:

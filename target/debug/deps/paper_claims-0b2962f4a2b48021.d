@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-0b2962f4a2b48021.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-0b2962f4a2b48021: tests/paper_claims.rs
+
+tests/paper_claims.rs:

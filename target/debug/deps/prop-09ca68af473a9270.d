@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-09ca68af473a9270.d: crates/pmbus/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-09ca68af473a9270: crates/pmbus/tests/prop.rs
+
+crates/pmbus/tests/prop.rs:

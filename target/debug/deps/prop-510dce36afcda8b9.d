@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-510dce36afcda8b9.d: crates/nn/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-510dce36afcda8b9: crates/nn/tests/prop.rs
+
+crates/nn/tests/prop.rs:

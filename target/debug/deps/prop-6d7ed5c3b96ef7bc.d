@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-6d7ed5c3b96ef7bc.d: crates/fpga/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-6d7ed5c3b96ef7bc.rmeta: crates/fpga/tests/prop.rs Cargo.toml
+
+crates/fpga/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-7ad492a4ddf33a40.d: crates/dpu/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-7ad492a4ddf33a40: crates/dpu/tests/prop.rs
+
+crates/dpu/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-86c59f6f78180c85.d: crates/fpga/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-86c59f6f78180c85: crates/fpga/tests/prop.rs
+
+crates/fpga/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-a0e060add8be95af.d: crates/num/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-a0e060add8be95af.rmeta: crates/num/tests/prop.rs Cargo.toml
+
+crates/num/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

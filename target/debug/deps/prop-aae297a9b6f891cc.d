@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-aae297a9b6f891cc.d: crates/dpu/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-aae297a9b6f891cc.rmeta: crates/dpu/tests/prop.rs Cargo.toml
+
+crates/dpu/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

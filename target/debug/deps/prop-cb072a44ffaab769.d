@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-cb072a44ffaab769.d: crates/num/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-cb072a44ffaab769: crates/num/tests/prop.rs
+
+crates/num/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-d72760e5e4ccf602.d: crates/pmbus/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-d72760e5e4ccf602.rmeta: crates/pmbus/tests/prop.rs Cargo.toml
+
+crates/pmbus/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-901aeee36d28888b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-901aeee36d28888b: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-df9fa04629dfa765.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-df9fa04629dfa765.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-df9fa04629dfa765.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/redvolt-9d0c261cb7611c96.d: src/lib.rs
+
+/root/repo/target/debug/deps/redvolt-9d0c261cb7611c96: src/lib.rs
+
+src/lib.rs:

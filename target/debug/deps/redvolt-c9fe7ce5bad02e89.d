@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/redvolt-c9fe7ce5bad02e89.d: src/lib.rs
+
+/root/repo/target/debug/deps/libredvolt-c9fe7ce5bad02e89.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libredvolt-c9fe7ce5bad02e89.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/redvolt_bench-9bcee5c27939e71b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/redvolt_bench-9bcee5c27939e71b: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

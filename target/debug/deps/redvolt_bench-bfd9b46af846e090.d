@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/redvolt_bench-bfd9b46af846e090.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libredvolt_bench-bfd9b46af846e090.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libredvolt_bench-bfd9b46af846e090.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

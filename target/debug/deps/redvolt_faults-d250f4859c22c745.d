@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/redvolt_faults-d250f4859c22c745.d: crates/faults/src/lib.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+/root/repo/target/debug/deps/libredvolt_faults-d250f4859c22c745.rlib: crates/faults/src/lib.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+/root/repo/target/debug/deps/libredvolt_faults-d250f4859c22c745.rmeta: crates/faults/src/lib.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/injector.rs:
+crates/faults/src/model.rs:

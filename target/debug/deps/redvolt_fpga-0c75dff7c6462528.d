@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/redvolt_fpga-0c75dff7c6462528.d: crates/fpga/src/lib.rs crates/fpga/src/board.rs crates/fpga/src/calib.rs crates/fpga/src/power.rs crates/fpga/src/rails.rs crates/fpga/src/resources.rs crates/fpga/src/thermal.rs crates/fpga/src/timing.rs crates/fpga/src/variation.rs
+
+/root/repo/target/debug/deps/redvolt_fpga-0c75dff7c6462528: crates/fpga/src/lib.rs crates/fpga/src/board.rs crates/fpga/src/calib.rs crates/fpga/src/power.rs crates/fpga/src/rails.rs crates/fpga/src/resources.rs crates/fpga/src/thermal.rs crates/fpga/src/timing.rs crates/fpga/src/variation.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/board.rs:
+crates/fpga/src/calib.rs:
+crates/fpga/src/power.rs:
+crates/fpga/src/rails.rs:
+crates/fpga/src/resources.rs:
+crates/fpga/src/thermal.rs:
+crates/fpga/src/timing.rs:
+crates/fpga/src/variation.rs:

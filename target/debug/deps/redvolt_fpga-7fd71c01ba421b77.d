@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/redvolt_fpga-7fd71c01ba421b77.d: crates/fpga/src/lib.rs crates/fpga/src/board.rs crates/fpga/src/calib.rs crates/fpga/src/power.rs crates/fpga/src/rails.rs crates/fpga/src/resources.rs crates/fpga/src/thermal.rs crates/fpga/src/timing.rs crates/fpga/src/variation.rs
+
+/root/repo/target/debug/deps/libredvolt_fpga-7fd71c01ba421b77.rlib: crates/fpga/src/lib.rs crates/fpga/src/board.rs crates/fpga/src/calib.rs crates/fpga/src/power.rs crates/fpga/src/rails.rs crates/fpga/src/resources.rs crates/fpga/src/thermal.rs crates/fpga/src/timing.rs crates/fpga/src/variation.rs
+
+/root/repo/target/debug/deps/libredvolt_fpga-7fd71c01ba421b77.rmeta: crates/fpga/src/lib.rs crates/fpga/src/board.rs crates/fpga/src/calib.rs crates/fpga/src/power.rs crates/fpga/src/rails.rs crates/fpga/src/resources.rs crates/fpga/src/thermal.rs crates/fpga/src/timing.rs crates/fpga/src/variation.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/board.rs:
+crates/fpga/src/calib.rs:
+crates/fpga/src/power.rs:
+crates/fpga/src/rails.rs:
+crates/fpga/src/resources.rs:
+crates/fpga/src/thermal.rs:
+crates/fpga/src/timing.rs:
+crates/fpga/src/variation.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/redvolt_fpga-bbd886c37d3b58b3.d: crates/fpga/src/lib.rs crates/fpga/src/board.rs crates/fpga/src/calib.rs crates/fpga/src/power.rs crates/fpga/src/rails.rs crates/fpga/src/resources.rs crates/fpga/src/thermal.rs crates/fpga/src/timing.rs crates/fpga/src/variation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredvolt_fpga-bbd886c37d3b58b3.rmeta: crates/fpga/src/lib.rs crates/fpga/src/board.rs crates/fpga/src/calib.rs crates/fpga/src/power.rs crates/fpga/src/rails.rs crates/fpga/src/resources.rs crates/fpga/src/thermal.rs crates/fpga/src/timing.rs crates/fpga/src/variation.rs Cargo.toml
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/board.rs:
+crates/fpga/src/calib.rs:
+crates/fpga/src/power.rs:
+crates/fpga/src/rails.rs:
+crates/fpga/src/resources.rs:
+crates/fpga/src/thermal.rs:
+crates/fpga/src/timing.rs:
+crates/fpga/src/variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/redvolt_nn-3d173d5141c44bcf.d: crates/nn/src/lib.rs crates/nn/src/dataset.rs crates/nn/src/graph.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/prune.rs crates/nn/src/quant.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libredvolt_nn-3d173d5141c44bcf.rlib: crates/nn/src/lib.rs crates/nn/src/dataset.rs crates/nn/src/graph.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/prune.rs crates/nn/src/quant.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libredvolt_nn-3d173d5141c44bcf.rmeta: crates/nn/src/lib.rs crates/nn/src/dataset.rs crates/nn/src/graph.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/prune.rs crates/nn/src/quant.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/dataset.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/prune.rs:
+crates/nn/src/quant.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/redvolt_nn-d19b142be5cf30c6.d: crates/nn/src/lib.rs crates/nn/src/dataset.rs crates/nn/src/graph.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/prune.rs crates/nn/src/quant.rs crates/nn/src/tensor.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredvolt_nn-d19b142be5cf30c6.rmeta: crates/nn/src/lib.rs crates/nn/src/dataset.rs crates/nn/src/graph.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/prune.rs crates/nn/src/quant.rs crates/nn/src/tensor.rs crates/nn/src/train.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/dataset.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/prune.rs:
+crates/nn/src/quant.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

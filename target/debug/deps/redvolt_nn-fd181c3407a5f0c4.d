@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/redvolt_nn-fd181c3407a5f0c4.d: crates/nn/src/lib.rs crates/nn/src/dataset.rs crates/nn/src/graph.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/prune.rs crates/nn/src/quant.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/redvolt_nn-fd181c3407a5f0c4: crates/nn/src/lib.rs crates/nn/src/dataset.rs crates/nn/src/graph.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/prune.rs crates/nn/src/quant.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/dataset.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/prune.rs:
+crates/nn/src/quant.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

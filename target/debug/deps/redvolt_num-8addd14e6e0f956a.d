@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/redvolt_num-8addd14e6e0f956a.d: crates/num/src/lib.rs crates/num/src/fit.rs crates/num/src/fixed.rs crates/num/src/pchip.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+/root/repo/target/debug/deps/libredvolt_num-8addd14e6e0f956a.rlib: crates/num/src/lib.rs crates/num/src/fit.rs crates/num/src/fixed.rs crates/num/src/pchip.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+/root/repo/target/debug/deps/libredvolt_num-8addd14e6e0f956a.rmeta: crates/num/src/lib.rs crates/num/src/fit.rs crates/num/src/fixed.rs crates/num/src/pchip.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+crates/num/src/lib.rs:
+crates/num/src/fit.rs:
+crates/num/src/fixed.rs:
+crates/num/src/pchip.rs:
+crates/num/src/rng.rs:
+crates/num/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/redvolt_num-aeaf1d1fceab5c96.d: crates/num/src/lib.rs crates/num/src/fit.rs crates/num/src/fixed.rs crates/num/src/pchip.rs crates/num/src/rng.rs crates/num/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredvolt_num-aeaf1d1fceab5c96.rmeta: crates/num/src/lib.rs crates/num/src/fit.rs crates/num/src/fixed.rs crates/num/src/pchip.rs crates/num/src/rng.rs crates/num/src/stats.rs Cargo.toml
+
+crates/num/src/lib.rs:
+crates/num/src/fit.rs:
+crates/num/src/fixed.rs:
+crates/num/src/pchip.rs:
+crates/num/src/rng.rs:
+crates/num/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

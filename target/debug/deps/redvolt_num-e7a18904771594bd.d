@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/redvolt_num-e7a18904771594bd.d: crates/num/src/lib.rs crates/num/src/fit.rs crates/num/src/fixed.rs crates/num/src/pchip.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+/root/repo/target/debug/deps/redvolt_num-e7a18904771594bd: crates/num/src/lib.rs crates/num/src/fit.rs crates/num/src/fixed.rs crates/num/src/pchip.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+crates/num/src/lib.rs:
+crates/num/src/fit.rs:
+crates/num/src/fixed.rs:
+crates/num/src/pchip.rs:
+crates/num/src/rng.rs:
+crates/num/src/stats.rs:

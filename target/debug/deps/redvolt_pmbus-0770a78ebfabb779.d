@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/redvolt_pmbus-0770a78ebfabb779.d: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredvolt_pmbus-0770a78ebfabb779.rmeta: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs Cargo.toml
+
+crates/pmbus/src/lib.rs:
+crates/pmbus/src/adapter.rs:
+crates/pmbus/src/command.rs:
+crates/pmbus/src/device.rs:
+crates/pmbus/src/linear.rs:
+crates/pmbus/src/mux.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-90e0892be929b10b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-90e0892be929b10b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a7385ec19c987ed2.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a7385ec19c987ed2: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_governor-bafa5fa284d4152d.d: examples/adaptive_governor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_governor-bafa5fa284d4152d.rmeta: examples/adaptive_governor.rs Cargo.toml
+
+examples/adaptive_governor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

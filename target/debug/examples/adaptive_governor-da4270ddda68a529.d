@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_governor-da4270ddda68a529.d: examples/adaptive_governor.rs
+
+/root/repo/target/debug/examples/adaptive_governor-da4270ddda68a529: examples/adaptive_governor.rs
+
+examples/adaptive_governor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/frequency_rescue-e641740fdda4e4a9.d: examples/frequency_rescue.rs
+
+/root/repo/target/debug/examples/frequency_rescue-e641740fdda4e4a9: examples/frequency_rescue.rs
+
+examples/frequency_rescue.rs:

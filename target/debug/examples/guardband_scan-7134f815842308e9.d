@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/guardband_scan-7134f815842308e9.d: examples/guardband_scan.rs
+
+/root/repo/target/debug/examples/guardband_scan-7134f815842308e9: examples/guardband_scan.rs
+
+examples/guardband_scan.rs:

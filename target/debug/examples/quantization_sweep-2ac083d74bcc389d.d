@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quantization_sweep-2ac083d74bcc389d.d: examples/quantization_sweep.rs
+
+/root/repo/target/debug/examples/quantization_sweep-2ac083d74bcc389d: examples/quantization_sweep.rs
+
+examples/quantization_sweep.rs:

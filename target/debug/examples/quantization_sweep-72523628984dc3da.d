@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quantization_sweep-72523628984dc3da.d: examples/quantization_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquantization_sweep-72523628984dc3da.rmeta: examples/quantization_sweep.rs Cargo.toml
+
+examples/quantization_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f5138a5c6f1bfaef.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f5138a5c6f1bfaef: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/razor_mitigation-4f04b352328467f3.d: examples/razor_mitigation.rs
+
+/root/repo/target/debug/examples/razor_mitigation-4f04b352328467f3: examples/razor_mitigation.rs
+
+examples/razor_mitigation.rs:

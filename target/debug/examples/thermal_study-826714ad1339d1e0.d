@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thermal_study-826714ad1339d1e0.d: examples/thermal_study.rs
+
+/root/repo/target/debug/examples/thermal_study-826714ad1339d1e0: examples/thermal_study.rs
+
+examples/thermal_study.rs:

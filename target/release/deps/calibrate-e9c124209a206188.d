@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-e9c124209a206188.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-e9c124209a206188: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

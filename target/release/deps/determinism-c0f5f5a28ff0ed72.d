@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-c0f5f5a28ff0ed72.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-c0f5f5a28ff0ed72: tests/determinism.rs
+
+tests/determinism.rs:

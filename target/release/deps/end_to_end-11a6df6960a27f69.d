@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-11a6df6960a27f69.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-11a6df6960a27f69: tests/end_to_end.rs
+
+tests/end_to_end.rs:

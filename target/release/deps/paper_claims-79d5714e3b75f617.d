@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-79d5714e3b75f617.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-79d5714e3b75f617: tests/paper_claims.rs
+
+tests/paper_claims.rs:

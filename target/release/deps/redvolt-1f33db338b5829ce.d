@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/redvolt-1f33db338b5829ce.d: src/lib.rs
+
+/root/repo/target/release/deps/redvolt-1f33db338b5829ce: src/lib.rs
+
+src/lib.rs:

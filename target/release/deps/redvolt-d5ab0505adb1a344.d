@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/redvolt-d5ab0505adb1a344.d: src/lib.rs
+
+/root/repo/target/release/deps/libredvolt-d5ab0505adb1a344.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libredvolt-d5ab0505adb1a344.rmeta: src/lib.rs
+
+src/lib.rs:

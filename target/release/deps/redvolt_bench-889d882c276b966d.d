@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/redvolt_bench-889d882c276b966d.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libredvolt_bench-889d882c276b966d.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libredvolt_bench-889d882c276b966d.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/redvolt_faults-205a86f942deafd8.d: crates/faults/src/lib.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+/root/repo/target/release/deps/libredvolt_faults-205a86f942deafd8.rlib: crates/faults/src/lib.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+/root/repo/target/release/deps/libredvolt_faults-205a86f942deafd8.rmeta: crates/faults/src/lib.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/injector.rs:
+crates/faults/src/model.rs:

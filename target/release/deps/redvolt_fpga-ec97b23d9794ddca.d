@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/redvolt_fpga-ec97b23d9794ddca.d: crates/fpga/src/lib.rs crates/fpga/src/board.rs crates/fpga/src/calib.rs crates/fpga/src/power.rs crates/fpga/src/rails.rs crates/fpga/src/resources.rs crates/fpga/src/thermal.rs crates/fpga/src/timing.rs crates/fpga/src/variation.rs
+
+/root/repo/target/release/deps/libredvolt_fpga-ec97b23d9794ddca.rlib: crates/fpga/src/lib.rs crates/fpga/src/board.rs crates/fpga/src/calib.rs crates/fpga/src/power.rs crates/fpga/src/rails.rs crates/fpga/src/resources.rs crates/fpga/src/thermal.rs crates/fpga/src/timing.rs crates/fpga/src/variation.rs
+
+/root/repo/target/release/deps/libredvolt_fpga-ec97b23d9794ddca.rmeta: crates/fpga/src/lib.rs crates/fpga/src/board.rs crates/fpga/src/calib.rs crates/fpga/src/power.rs crates/fpga/src/rails.rs crates/fpga/src/resources.rs crates/fpga/src/thermal.rs crates/fpga/src/timing.rs crates/fpga/src/variation.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/board.rs:
+crates/fpga/src/calib.rs:
+crates/fpga/src/power.rs:
+crates/fpga/src/rails.rs:
+crates/fpga/src/resources.rs:
+crates/fpga/src/thermal.rs:
+crates/fpga/src/timing.rs:
+crates/fpga/src/variation.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/redvolt_nn-1378d6b8d74bb059.d: crates/nn/src/lib.rs crates/nn/src/dataset.rs crates/nn/src/graph.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/prune.rs crates/nn/src/quant.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libredvolt_nn-1378d6b8d74bb059.rlib: crates/nn/src/lib.rs crates/nn/src/dataset.rs crates/nn/src/graph.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/prune.rs crates/nn/src/quant.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libredvolt_nn-1378d6b8d74bb059.rmeta: crates/nn/src/lib.rs crates/nn/src/dataset.rs crates/nn/src/graph.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/prune.rs crates/nn/src/quant.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/dataset.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/prune.rs:
+crates/nn/src/quant.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

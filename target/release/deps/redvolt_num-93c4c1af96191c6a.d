@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/redvolt_num-93c4c1af96191c6a.d: crates/num/src/lib.rs crates/num/src/fit.rs crates/num/src/fixed.rs crates/num/src/pchip.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+/root/repo/target/release/deps/libredvolt_num-93c4c1af96191c6a.rlib: crates/num/src/lib.rs crates/num/src/fit.rs crates/num/src/fixed.rs crates/num/src/pchip.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+/root/repo/target/release/deps/libredvolt_num-93c4c1af96191c6a.rmeta: crates/num/src/lib.rs crates/num/src/fit.rs crates/num/src/fixed.rs crates/num/src/pchip.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+crates/num/src/lib.rs:
+crates/num/src/fit.rs:
+crates/num/src/fixed.rs:
+crates/num/src/pchip.rs:
+crates/num/src/rng.rs:
+crates/num/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e0d023cf376061fa.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-e0d023cf376061fa: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

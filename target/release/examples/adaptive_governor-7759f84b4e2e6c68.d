@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_governor-7759f84b4e2e6c68.d: examples/adaptive_governor.rs
+
+/root/repo/target/release/examples/adaptive_governor-7759f84b4e2e6c68: examples/adaptive_governor.rs
+
+examples/adaptive_governor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/frequency_rescue-e2479034e3844da4.d: examples/frequency_rescue.rs
+
+/root/repo/target/release/examples/frequency_rescue-e2479034e3844da4: examples/frequency_rescue.rs
+
+examples/frequency_rescue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/guardband_scan-3a139aedc6467e2b.d: examples/guardband_scan.rs
+
+/root/repo/target/release/examples/guardband_scan-3a139aedc6467e2b: examples/guardband_scan.rs
+
+examples/guardband_scan.rs:

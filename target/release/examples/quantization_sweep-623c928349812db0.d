@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quantization_sweep-623c928349812db0.d: examples/quantization_sweep.rs
+
+/root/repo/target/release/examples/quantization_sweep-623c928349812db0: examples/quantization_sweep.rs
+
+examples/quantization_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-95f01462b1f7473e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-95f01462b1f7473e: examples/quickstart.rs
+
+examples/quickstart.rs:

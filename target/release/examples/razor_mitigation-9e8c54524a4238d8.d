@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/razor_mitigation-9e8c54524a4238d8.d: examples/razor_mitigation.rs
+
+/root/repo/target/release/examples/razor_mitigation-9e8c54524a4238d8: examples/razor_mitigation.rs
+
+examples/razor_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/thermal_study-ab11ed1898631e55.d: examples/thermal_study.rs
+
+/root/repo/target/release/examples/thermal_study-ab11ed1898631e55: examples/thermal_study.rs
+
+examples/thermal_study.rs:

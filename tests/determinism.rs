@@ -1,0 +1,115 @@
+//! The acceptance criterion for the parallel campaign executor: the
+//! serialized science payload of a [`CampaignPlan`] is a pure function of
+//! the plan — byte-identical for every `--jobs` value and across repeated
+//! runs. Each cell derives its RNG seed from `(master_seed, cell_index)`,
+//! so nothing the scheduler does (worker count, interleaving, load
+//! balance) can leak into the results.
+
+use redvolt::core::bench_suite::BenchmarkId;
+use redvolt::core::executor::{CampaignPlan, CellAction, CellSpec};
+use redvolt::core::experiment::AcceleratorConfig;
+use redvolt::core::governor::GovernorConfig;
+use redvolt::core::sweep::SweepConfig;
+
+/// A small mixed-action plan covering every [`CellAction`] variant: a
+/// sweep grid over two benchmarks × two boards, plus a governor cell and
+/// two measurement cells.
+fn mixed_plan(master_seed: u64) -> CampaignPlan {
+    let base = AcceleratorConfig {
+        eval_images: 12,
+        repetitions: 2,
+        ..AcceleratorConfig::tiny(BenchmarkId::VggNet)
+    };
+    let sweep = SweepConfig {
+        start_mv: 620.0,
+        stop_mv: 560.0,
+        step_mv: 20.0,
+        images: 12,
+    };
+    let mut plan = CampaignPlan::sweep_grid(
+        master_seed,
+        &[BenchmarkId::GoogleNet, BenchmarkId::AlexNet],
+        &[0, 1],
+        base,
+        sweep,
+    );
+    plan.push(CellSpec {
+        config: base,
+        action: CellAction::Governor {
+            config: GovernorConfig {
+                batch_images: 8,
+                ..GovernorConfig::default()
+            },
+            batches: 6,
+        },
+        force_temp_c: None,
+    });
+    plan.push(CellSpec {
+        config: base,
+        action: CellAction::Measure {
+            vccint_mv: None,
+            images: 12,
+        },
+        force_temp_c: None,
+    });
+    plan.push(CellSpec {
+        config: base,
+        action: CellAction::Measure {
+            vccint_mv: Some(600.0),
+            images: 12,
+        },
+        force_temp_c: Some(45.0),
+    });
+    plan
+}
+
+#[test]
+fn campaign_results_are_identical_for_every_job_count() {
+    let plan = mixed_plan(42);
+    let serial = plan.run(1).unwrap().to_csv();
+    for jobs in [2, 8] {
+        let parallel = plan.run(jobs).unwrap().to_csv();
+        assert_eq!(
+            serial, parallel,
+            "jobs={jobs} diverged from jobs=1 — scheduling leaked into results"
+        );
+    }
+}
+
+#[test]
+fn campaign_results_are_stable_across_repeated_runs() {
+    let plan = mixed_plan(7);
+    for jobs in [1, 2] {
+        let first = plan.run(jobs).unwrap().to_csv();
+        let second = plan.run(jobs).unwrap().to_csv();
+        assert_eq!(first, second, "jobs={jobs} is not reproducible run-to-run");
+    }
+}
+
+#[test]
+fn different_master_seeds_give_different_payloads() {
+    // Sanity check that the determinism above is not vacuous: the payload
+    // actually depends on the master seed (so the per-cell seeds really
+    // flow into the simulation, rather than everything being constant).
+    let a = mixed_plan(1).run(2).unwrap().to_csv();
+    let b = mixed_plan(2).run(2).unwrap().to_csv();
+    assert_ne!(a, b, "payload ignores the master seed");
+}
+
+#[test]
+fn report_metadata_reflects_the_schedule_without_affecting_payload() {
+    let plan = mixed_plan(3);
+    let report = plan.run(2).unwrap();
+    assert_eq!(report.jobs, 2);
+    assert_eq!(report.results.len(), plan.len());
+    // Results come back merged in plan order regardless of which worker
+    // ran them.
+    for (i, r) in report.results.iter().enumerate() {
+        assert_eq!(r.index, i);
+        assert!(r.worker < 2);
+    }
+    // Timing lives in the timing table, never in the CSV payload.
+    let csv = report.to_csv();
+    assert!(!csv.contains("Seconds"));
+    assert!(report.timing_table().to_text().contains("Seconds"));
+}

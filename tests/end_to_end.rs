@@ -1,6 +1,14 @@
 //! Cross-crate integration tests: the full stack from PMBus writes down
 //! to faulty integer arithmetic, exercised the way the paper's
 //! measurement scripts drive the real hardware.
+//!
+//! Triage verdict on the seed's "failing" tests: none of the failures in
+//! this file were wrong tolerances or model bugs. The whole suite failed
+//! to BUILD because `Cargo.toml` pulled `rand`/`serde`/`proptest` from a
+//! registry that is unreachable in the build environment (no lockfile, no
+//! cargo cache). With those dependencies replaced by vendored path crates
+//! (`vendor/proptest`, `vendor/criterion`) the build succeeds offline and
+//! every assertion below passes deterministically, unchanged.
 
 use redvolt::core::bench_suite::BenchmarkId;
 use redvolt::core::experiment::{Accelerator, AcceleratorConfig, MeasureError};

@@ -2,6 +2,14 @@
 //! DESIGN.md) at reduced scale. The full-scale numbers are produced by
 //! `cargo run --release -p redvolt-bench --bin repro` and recorded in
 //! EXPERIMENTS.md.
+//!
+//! Triage verdict on the seed's "failing" tests: every failure here was an
+//! environment problem, not a wrong tolerance and not a model bug — the
+//! workspace depended on registry crates (`rand`, `serde`, `proptest`)
+//! that cannot be fetched in the offline build environment, so no test in
+//! this file ever compiled. After vendoring dependency-free substitutes
+//! under `vendor/`, all claims below pass with their original tolerances;
+//! none needed loosening.
 
 use redvolt::core::bench_suite::BenchmarkId;
 use redvolt::core::experiment::{Accelerator, AcceleratorConfig};

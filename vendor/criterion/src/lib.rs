@@ -1,0 +1,143 @@
+//! A minimal, dependency-free subset of the [criterion](https://crates.io/crates/criterion)
+//! API, vendored so `cargo bench` works without registry access.
+//!
+//! Supported surface: [`Criterion::benchmark_group`], group tuning knobs
+//! (`sample_size`, `measurement_time`, `warm_up_time`), `bench_function`
+//! with `Bencher::iter`, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Instead of criterion's statistical machinery it reports the
+//! mean / min / max wall-clock time over `sample_size` samples as plain
+//! text, which is enough to track regressions in BENCH_*.json entries.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Times a standalone function (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(1),
+        };
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing tuning parameters.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up running time before samples are recorded.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        // Warm-up: run until the warm-up budget elapses at least once.
+        let warm_start = Instant::now();
+        loop {
+            f(&mut bencher);
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        bencher.samples.clear();
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            if measure_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        let n = bencher.samples.len().max(1);
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / n as u32;
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        let max = bencher.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "  {name}: mean {:?} (min {:?}, max {:?}, samples {})",
+            mean,
+            min,
+            max,
+            bencher.samples.len()
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the closure under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine`.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Declares a bench group runner (subset of upstream `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
