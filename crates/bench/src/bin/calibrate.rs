@@ -12,9 +12,15 @@
 //! `--jobs N` shards the per-board-sample searches across worker threads
 //! (default: available parallelism). The checks are deterministic, so the
 //! report is identical for every N.
+//!
+//! `--journal PATH` write-ahead-journals each per-board Vmin/Vcrash
+//! search as it completes; `--resume` skips the journaled boards on a
+//! rerun. The fits themselves are cheap closed-form checks and always
+//! rerun.
 
-use redvolt_bench::harness::parse_jobs;
+use redvolt_bench::harness::CampaignOptions;
 use redvolt_core::executor::run_indexed;
+use redvolt_core::journal::{read_journal, JournalEntry, JournalWriter};
 use redvolt_fpga::calib;
 use redvolt_fpga::power::{LoadProfile, PowerModel};
 use redvolt_fpga::timing::TimingModel;
@@ -29,9 +35,20 @@ fn check(name: &str, got: f64, want: f64, tol: f64) -> bool {
     ok
 }
 
+/// Journal header meta for the per-board searches: any change to the
+/// search grid invalidates old journals.
+const JOURNAL_META: &str = "tool=calibrate boards=3 grid=5mv";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = parse_jobs(&args);
+    let opts = match CampaignOptions::from_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let jobs = opts.jobs;
     let mut all_ok = true;
     println!("== Leakage temperature coefficient ==");
     // Paper §7.1: power rises 0.46% over 34->52 C at 850 mV. With the
@@ -138,9 +155,66 @@ fn main() {
         .unwrap_or(f64::NAN)
     };
     // Board samples are independent — shard them across workers exactly
-    // like campaign cells; run_indexed merges in sample order.
-    let vmins: Vec<f64> = run_indexed(3, jobs, |sample, _worker| vmin_of(sample as u32));
-    let vcrashes: Vec<f64> = run_indexed(3, jobs, |sample, _worker| vcrash_of(sample as u32));
+    // like campaign cells; the merge below restores sample order whether
+    // a value came from the journal or a fresh search.
+    let journaled = match &opts.journal {
+        Some(path) if opts.resume => match read_journal(path, JOURNAL_META) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("error: journal {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+        _ => Default::default(),
+    };
+    let mut writer = opts.journal.as_ref().map(|path| {
+        let opened = if opts.resume && path.exists() {
+            JournalWriter::append_to(path)
+        } else {
+            JournalWriter::create(path, JOURNAL_META)
+        };
+        opened.unwrap_or_else(|e| {
+            eprintln!("error: journal {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    });
+    let pending: Vec<usize> = (0..3).filter(|i| !journaled.contains_key(i)).collect();
+    let fresh: Vec<(usize, f64, f64)> = run_indexed(pending.len(), jobs, |k, _worker| {
+        let sample = pending[k];
+        (sample, vmin_of(sample as u32), vcrash_of(sample as u32))
+    });
+    if let Some(w) = writer.as_mut() {
+        for &(sample, vmin, vcrash) in &fresh {
+            let entry = JournalEntry {
+                index: sample,
+                attempts: 1,
+                payload: format!("vmin={vmin:?} vcrash={vcrash:?}"),
+            };
+            if let Err(e) = w.append(&entry) {
+                eprintln!("error: journal write: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut vmins = vec![f64::NAN; 3];
+    let mut vcrashes = vec![f64::NAN; 3];
+    for (&sample, entry) in journaled.iter().filter(|(&sample, _)| sample < 3) {
+        for field in entry.payload.split_whitespace() {
+            if let Some(v) = field.strip_prefix("vmin=") {
+                vmins[sample] = v.parse().unwrap_or(f64::NAN);
+            } else if let Some(v) = field.strip_prefix("vcrash=") {
+                vcrashes[sample] = v.parse().unwrap_or(f64::NAN);
+            }
+        }
+    }
+    if !journaled.is_empty() {
+        // stderr, so stdout stays byte-comparable with a straight run.
+        eprintln!("# resumed {} journaled board samples", journaled.len());
+    }
+    for (sample, vmin, vcrash) in fresh {
+        vmins[sample] = vmin;
+        vcrashes[sample] = vcrash;
+    }
     let spread = |v: &[f64]| {
         v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
     };

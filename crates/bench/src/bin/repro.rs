@@ -4,6 +4,8 @@
 //! cargo run --release -p redvolt-bench --bin repro -- all
 //! cargo run --release -p redvolt-bench --bin repro -- --quick fig6 table2
 //! cargo run --release -p redvolt-bench --bin repro -- --quick --jobs 8 all
+//! cargo run --release -p redvolt-bench --bin repro -- --quick \
+//!     --fault-profile light --journal sweep.journal --resume fig6
 //! ```
 //!
 //! With no arguments, runs everything at full settings (three boards,
@@ -14,21 +16,39 @@
 //! for every N because each campaign cell derives its seed from the plan,
 //! not the schedule. Per-cell timing goes to stderr so stdout stays
 //! comparable across job counts.
+//!
+//! The shared sweep campaign runs under the crash-resilient supervisor:
+//! `--fault-profile none|light|heavy` injects transient PMBus faults
+//! (absorbed by the adapter's retry/PEC machinery, so output stays
+//! byte-identical per profile), `--max-attempts N` sets the per-cell
+//! reboot-and-retry budget, `--journal PATH` write-ahead-journals each
+//! completed cell, and `--resume` continues an interrupted campaign from
+//! that journal. `--halt-after-cells K` deterministically stops after K
+//! newly journaled cells (exit code 3) — the hook CI uses to prove that
+//! interrupted-then-resumed output is byte-identical to a straight run.
 
-use redvolt_bench::harness::{self, Settings, ALL_EXPERIMENTS, SWEEP_CACHED_EXPERIMENTS};
+use redvolt_bench::harness::{
+    self, CampaignOptions, Settings, ALL_EXPERIMENTS, SWEEP_CACHED_EXPERIMENTS, VALUE_FLAGS,
+};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
-    let jobs = harness::parse_jobs(&args);
+    let opts = match CampaignOptions::from_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let mut skip_next = false;
     let mut wanted: Vec<String> = args
         .iter()
         .filter(|a| {
             let take = !skip_next && !a.starts_with("--");
-            skip_next = *a == "--jobs";
+            skip_next = VALUE_FLAGS.contains(&a.as_str());
             take
         })
         .cloned()
@@ -36,26 +56,57 @@ fn main() {
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
-    let settings = if quick {
-        Settings::quick()
-    } else {
-        Settings::full()
+    let settings = Settings {
+        bus_faults: opts.fault_profile,
+        ..if quick {
+            Settings::quick()
+        } else {
+            Settings::full()
+        }
     };
     println!(
         "# redvolt reproduction of DSN-2020 'Reduced-Voltage Operation in Modern FPGAs'\n\
-         # settings: boards={:?} images={} reps={} ({})\n",
+         # settings: boards={:?} images={} reps={} faults={} ({})\n",
         settings.boards,
         settings.images,
         settings.reps,
+        settings.bus_faults.name(),
         if quick { "quick" } else { "full" }
     );
     // Run the shared sweep grid once, in parallel, before any consumer.
+    // The supervisor isolates panics, retries crashed cells and, with
+    // --journal, records every completed cell write-ahead.
     if wanted
         .iter()
         .any(|w| SWEEP_CACHED_EXPERIMENTS.contains(&w.as_str()))
     {
-        let report = harness::prefetch_sweeps(&settings, jobs);
-        eprintln!("{}", report.timing_table().to_text());
+        let journal = opts.journal_spec();
+        let sup = match harness::prefetch_sweeps_with(
+            &settings,
+            opts.jobs,
+            &opts.supervisor_config(),
+            journal.as_ref(),
+        ) {
+            Ok(sup) => sup,
+            Err(e) => {
+                eprintln!("error: sweep campaign: {e}");
+                std::process::exit(2);
+            }
+        };
+        if sup.resumed_cells > 0 {
+            eprintln!("# resumed {} journaled cells", sup.resumed_cells);
+        }
+        if sup.aborted_cells > 0 {
+            eprintln!("# {} cells aborted (see report)", sup.aborted_cells);
+        }
+        eprintln!("{}", sup.report.timing_table().to_text());
+        if sup.interrupted {
+            eprintln!(
+                "# campaign halted after {} newly journaled cells; rerun with --resume",
+                sup.report.results.len() - sup.resumed_cells
+            );
+            std::process::exit(3);
+        }
     }
     for name in &wanted {
         let t0 = Instant::now();

@@ -8,11 +8,16 @@ use redvolt_core::guardband::VoltageRegions;
 use redvolt_core::pruneexp::{pruning_study, PruneStudy};
 use redvolt_core::quantexp::{quantization_study, QuantStudy, FIG7_PRECISIONS};
 use redvolt_core::report::{fmt, norm, pct, Table};
+use redvolt_core::supervisor::{
+    run_supervised, JournalSpec, SupervisedReport, SupervisorConfig, SupervisorError,
+};
 use redvolt_core::sweep::{voltage_sweep, SweepConfig, VoltageSweep};
 use redvolt_core::tempexp::{temperature_study, TempStudy, SETPOINTS_C};
 use redvolt_core::{efficiency, experiment::Measurement};
+use redvolt_faults::bus::BusFaultProfile;
 use redvolt_nn::models::ModelScale;
 use redvolt_num::stats;
+use std::path::PathBuf;
 
 /// Campaign settings shared by every reproduction.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +30,10 @@ pub struct Settings {
     pub reps: usize,
     /// Model scale.
     pub scale: ModelScale,
+    /// Injected PMBus fault profile (`--fault-profile`); the adapter's
+    /// retry/PEC machinery absorbs these, so results stay byte-identical
+    /// for a given (profile, seed) pair.
+    pub bus_faults: BusFaultProfile,
 }
 
 impl Settings {
@@ -35,6 +44,7 @@ impl Settings {
             images: 100,
             reps: 10,
             scale: ModelScale::Paper,
+            bus_faults: BusFaultProfile::none(),
         }
     }
 
@@ -45,6 +55,7 @@ impl Settings {
             images: 32,
             reps: 3,
             scale: ModelScale::Paper,
+            bus_faults: BusFaultProfile::none(),
         }
     }
 
@@ -55,6 +66,7 @@ impl Settings {
             images: 12,
             reps: 2,
             scale: ModelScale::Tiny,
+            bus_faults: BusFaultProfile::none(),
         }
     }
 
@@ -65,6 +77,7 @@ impl Settings {
             scale: self.scale,
             eval_images: self.images,
             repetitions: self.reps,
+            bus_faults: self.bus_faults,
             ..AcceleratorConfig::default()
         }
     }
@@ -74,8 +87,11 @@ fn bring_up(cfg: &AcceleratorConfig) -> Accelerator {
     Accelerator::bring_up(cfg).expect("workload preparation is infallible for built-in benchmarks")
 }
 
-/// Sweep-cache key: (benchmark index, board, images, reps, paper scale?).
-type SweepKey = (u8, u32, usize, usize, bool);
+/// Sweep-cache key: (benchmark index, board, images, reps, paper scale?,
+/// fault-profile rate bits). The fault profile changes how many bus
+/// transactions each measurement issues, so sweeps taken under different
+/// profiles must never satisfy each other's cache lookups.
+type SweepKey = (u8, u32, usize, usize, bool, (u64, u64, u64));
 type SweepCache = std::sync::Mutex<std::collections::HashMap<SweepKey, VoltageSweep>>;
 
 /// Deterministic sweeps are shared across figures (Figs. 3-6 all consume
@@ -92,6 +108,7 @@ fn cache_key(s: &Settings, kind: BenchmarkId, board: u32) -> SweepKey {
         s.images,
         s.reps,
         s.scale == ModelScale::Paper,
+        s.bus_faults.key_bits(),
     )
 }
 
@@ -106,6 +123,30 @@ fn cache_key(s: &Settings, kind: BenchmarkId, board: u32) -> SweepKey {
 /// lazily-computed sweeps in one process would select different seeds
 /// depending on call order.
 pub fn prefetch_sweeps(s: &Settings, jobs: usize) -> CampaignReport {
+    prefetch_sweeps_with(s, jobs, &SupervisorConfig::default(), None)
+        .expect("no journal in use, so no I/O error is reachable")
+        .report
+}
+
+/// [`prefetch_sweeps`] routed through the crash-resilient supervisor:
+/// cells run under panic isolation and the watchdog, are retried per
+/// `config`, and — when `journal` is given — each completed cell is
+/// journaled write-ahead so an interrupted prefetch can `--resume`.
+///
+/// Successfully swept cells seed the shared cache exactly as the plain
+/// path does; aborted cells are skipped (their figures fall back to the
+/// lazy per-figure sweep).
+///
+/// # Errors
+///
+/// Fails only on journal I/O problems or a meta mismatch between the
+/// journal on disk and this plan (wrong seed or cell list).
+pub fn prefetch_sweeps_with(
+    s: &Settings,
+    jobs: usize,
+    config: &SupervisorConfig,
+    journal: Option<&JournalSpec>,
+) -> Result<SupervisedReport, SupervisorError> {
     let base = s.config(BenchmarkId::VggNet, s.boards[0]);
     let plan = CampaignPlan::sweep_grid(
         base.seed,
@@ -114,11 +155,9 @@ pub fn prefetch_sweeps(s: &Settings, jobs: usize) -> CampaignReport {
         base,
         fig_sweep(s.images),
     );
-    let report = plan
-        .run(jobs)
-        .expect("sweep cells absorb crashes; no other error is reachable");
+    let sup = run_supervised(&plan, jobs, config, journal)?;
     let mut cache = sweep_cache().lock().expect("cache lock");
-    for r in &report.results {
+    for r in &sup.report.results {
         if let Some(sweep) = r.outcome.as_sweep() {
             cache.insert(
                 cache_key(s, r.spec.config.benchmark, r.spec.config.board_sample),
@@ -126,7 +165,8 @@ pub fn prefetch_sweeps(s: &Settings, jobs: usize) -> CampaignReport {
             );
         }
     }
-    report
+    drop(cache);
+    Ok(sup)
 }
 
 /// The experiments [`prefetch_sweeps`] accelerates (they consume the
@@ -151,6 +191,133 @@ pub fn parse_jobs(args: &[String]) -> usize {
             .unwrap_or(1)
     })
     .max(1)
+}
+
+/// Flags that consume the following argument. The binaries use this to
+/// tell option values apart from experiment names when filtering argv.
+pub const VALUE_FLAGS: [&str; 5] = [
+    "--jobs",
+    "--journal",
+    "--max-attempts",
+    "--fault-profile",
+    "--halt-after-cells",
+];
+
+/// Campaign-level options shared by the `repro` and `calibrate` binaries:
+/// parallelism, the write-ahead journal, the retry budget and the
+/// injected PMBus fault profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOptions {
+    /// Worker threads (`--jobs N`, 0 or absent = available parallelism).
+    pub jobs: usize,
+    /// Write-ahead journal path (`--journal PATH`).
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal (`--resume`, needs `--journal`).
+    pub resume: bool,
+    /// Per-cell attempt budget (`--max-attempts N`).
+    pub max_attempts: u32,
+    /// Injected PMBus fault profile (`--fault-profile none|light|heavy`).
+    pub fault_profile: BusFaultProfile,
+    /// Stop after journaling this many new cells (`--halt-after-cells K`)
+    /// — a deterministic kill switch for resume testing.
+    pub halt_after: Option<usize>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            jobs: parse_jobs(&[]),
+            journal: None,
+            resume: false,
+            max_attempts: SupervisorConfig::default().max_attempts,
+            fault_profile: BusFaultProfile::none(),
+            halt_after: None,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// Parses the shared campaign flags out of `args`, accepting both the
+    /// `--flag VALUE` and `--flag=VALUE` spellings. Non-flag arguments
+    /// (experiment names, `--csv`, `--quick`) are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for a missing or malformed value,
+    /// an unknown fault profile, or `--resume` without `--journal`.
+    pub fn from_args(args: &[String]) -> Result<Self, String> {
+        let mut opts = CampaignOptions {
+            jobs: parse_jobs(args),
+            ..CampaignOptions::default()
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let (flag, inline) = match args[i].split_once('=') {
+                Some((f, v)) => (f, Some(v.to_string())),
+                None => (args[i].as_str(), None),
+            };
+            let value = if VALUE_FLAGS.contains(&flag) {
+                match inline {
+                    Some(v) => Some(v),
+                    None => {
+                        i += 1;
+                        args.get(i).cloned()
+                    }
+                }
+            } else {
+                None
+            };
+            match flag {
+                "--journal" => {
+                    let path = value.ok_or("--journal needs a file path")?;
+                    opts.journal = Some(PathBuf::from(path));
+                }
+                "--resume" => opts.resume = true,
+                "--max-attempts" => {
+                    opts.max_attempts = value
+                        .as_deref()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or("--max-attempts needs a positive integer")?;
+                }
+                "--fault-profile" => {
+                    let name = value.ok_or("--fault-profile needs none, light or heavy")?;
+                    opts.fault_profile = BusFaultProfile::parse(&name)
+                        .ok_or_else(|| format!("unknown fault profile `{name}`"))?;
+                }
+                "--halt-after-cells" => {
+                    opts.halt_after = Some(
+                        value
+                            .as_deref()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--halt-after-cells needs a cell count")?,
+                    );
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if opts.resume && opts.journal.is_none() {
+            return Err("--resume requires --journal PATH".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// The supervisor configuration these options select.
+    pub fn supervisor_config(&self) -> SupervisorConfig {
+        SupervisorConfig {
+            max_attempts: self.max_attempts,
+            halt_after: self.halt_after,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    /// The journal spec these options select, if `--journal` was given.
+    pub fn journal_spec(&self) -> Option<JournalSpec> {
+        self.journal
+            .as_ref()
+            .map(|path| JournalSpec::new(path.clone(), self.resume))
+    }
 }
 
 /// The paper's critical-region voltage schedule plus guardband anchors.
@@ -899,6 +1066,96 @@ mod tests {
         assert_eq!(parse_jobs(&args(&["fig3", "--jobs=7", "--csv"])), 7);
         assert_eq!(parse_jobs(&args(&["--jobs", "0"])), 1);
         assert!(parse_jobs(&args(&["all"])) >= 1);
+    }
+
+    #[test]
+    fn campaign_options_parse_both_spellings_and_validate() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let opts = CampaignOptions::from_args(&args(&[
+            "fig6",
+            "--jobs=2",
+            "--journal",
+            "run.journal",
+            "--resume",
+            "--max-attempts=5",
+            "--fault-profile",
+            "light",
+            "--halt-after-cells=3",
+        ]))
+        .unwrap();
+        assert_eq!(opts.jobs, 2);
+        assert_eq!(
+            opts.journal.as_deref(),
+            Some(std::path::Path::new("run.journal"))
+        );
+        assert!(opts.resume);
+        assert_eq!(opts.max_attempts, 5);
+        assert_eq!(opts.fault_profile, BusFaultProfile::light());
+        assert_eq!(opts.halt_after, Some(3));
+        assert_eq!(opts.supervisor_config().max_attempts, 5);
+        assert_eq!(opts.supervisor_config().halt_after, Some(3));
+        assert!(opts.journal_spec().is_some_and(|j| j.resume));
+
+        let defaults = CampaignOptions::from_args(&args(&["fig3", "--csv"])).unwrap();
+        assert_eq!(defaults.fault_profile, BusFaultProfile::none());
+        assert!(defaults.journal.is_none() && !defaults.resume);
+
+        assert!(CampaignOptions::from_args(&args(&["--resume"])).is_err());
+        assert!(CampaignOptions::from_args(&args(&["--fault-profile", "bad"])).is_err());
+        assert!(CampaignOptions::from_args(&args(&["--max-attempts", "0"])).is_err());
+        assert!(CampaignOptions::from_args(&args(&["--journal"])).is_err());
+    }
+
+    #[test]
+    fn fault_profile_partitions_the_sweep_cache() {
+        let clean = Settings::tiny();
+        let faulty = Settings {
+            bus_faults: BusFaultProfile::light(),
+            ..Settings::tiny()
+        };
+        assert_ne!(
+            cache_key(&clean, BenchmarkId::VggNet, 0),
+            cache_key(&faulty, BenchmarkId::VggNet, 0)
+        );
+    }
+
+    #[test]
+    fn halted_prefetch_resumes_to_straight_bytes_under_faults() {
+        let s = Settings {
+            bus_faults: BusFaultProfile::light(),
+            ..Settings::tiny()
+        };
+        let straight = prefetch_sweeps_with(&s, 2, &SupervisorConfig::default(), None)
+            .unwrap()
+            .report
+            .to_csv();
+
+        let dir = std::env::temp_dir().join("redvolt-harness-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("prefetch-{}.journal", std::process::id()));
+        let halted = prefetch_sweeps_with(
+            &s,
+            2,
+            &SupervisorConfig {
+                halt_after: Some(2),
+                ..SupervisorConfig::default()
+            },
+            Some(&JournalSpec::new(&path, false)),
+        )
+        .unwrap();
+        assert!(halted.interrupted);
+
+        let resumed = prefetch_sweeps_with(
+            &s,
+            2,
+            &SupervisorConfig::default(),
+            Some(&JournalSpec::new(&path, true)),
+        )
+        .unwrap();
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.resumed_cells, 2);
+        assert_eq!(resumed.report.to_csv(), straight);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -88,6 +88,14 @@ pub enum CellOutcome {
     Governor(GovernorTrace),
     /// From [`CellAction::Measure`].
     Measure(Measurement),
+    /// The cell did not complete: it panicked, exhausted its retry
+    /// budget, or hit its watchdog deadline. Recorded in the report (with
+    /// a deterministic cause string) instead of poisoning the campaign —
+    /// the supervisor's contract (see `core::supervisor`).
+    Aborted {
+        /// Deterministic, single-line description of why the cell died.
+        cause: String,
+    },
 }
 
 impl CellOutcome {
@@ -114,6 +122,9 @@ impl CellOutcome {
             }
             CellOutcome::Governor(t) => t.csv_rows(),
             CellOutcome::Measure(m) => vec![m.csv_row()],
+            CellOutcome::Aborted { cause } => {
+                vec![format!("aborted,{}", cause.replace(['\n', '\r'], " "))]
+            }
         }
     }
 }
@@ -131,6 +142,10 @@ pub struct CellResult {
     pub elapsed: Duration,
     /// Which worker executed it (informational; never affects results).
     pub worker: usize,
+    /// How many attempts the cell took (1 = first try; >1 means the
+    /// supervisor retried it after crashes, hangs, or bus-fault
+    /// exhaustion).
+    pub attempts: u32,
 }
 
 /// A campaign cell failed with a non-crash error.
@@ -235,7 +250,8 @@ impl CampaignPlan {
     }
 
     /// Executes every cell across `jobs` workers and merges the results in
-    /// plan order. `jobs` is clamped to `[1, len]`; results are identical
+    /// plan order. `jobs == 0` means the host's available parallelism;
+    /// other values are clamped to `[1, len]`. Results are identical
     /// for every value of `jobs` because each cell's seed depends only on
     /// `(master_seed, index)` and cells share no state.
     ///
@@ -246,7 +262,7 @@ impl CampaignPlan {
     /// during a sweep is not an error — it is recorded in the sweep.
     pub fn run(&self, jobs: usize) -> Result<CampaignReport, CampaignError> {
         let started = Instant::now();
-        let jobs = jobs.max(1).min(self.cells.len().max(1));
+        let jobs = resolve_jobs(jobs, self.cells.len());
         let outcomes = run_indexed(self.cells.len(), jobs, |index, worker| {
             let cell_started = Instant::now();
             let spec = CellSpec {
@@ -265,6 +281,7 @@ impl CampaignPlan {
                     outcome,
                     elapsed,
                     worker,
+                    attempts: 1,
                 }),
                 Err(source) => {
                     return Err(CampaignError {
@@ -283,8 +300,35 @@ impl CampaignPlan {
     }
 }
 
-fn execute_cell(spec: &CellSpec) -> Result<CellOutcome, MeasureError> {
+/// Resolves a user-facing `jobs` request against a work-item count:
+/// `0` means the host's available parallelism; the result is clamped to
+/// `[1, count]` (min 1 so an empty plan still "runs" on one no-op worker).
+pub fn resolve_jobs(jobs: usize, count: usize) -> usize {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    jobs.max(1).min(count.max(1))
+}
+
+/// Brings up the cell's accelerator and drives its action once — the unit
+/// of work both [`CampaignPlan::run`] and the supervisor's per-attempt
+/// worker execute.
+pub(crate) fn execute_cell(spec: &CellSpec) -> Result<CellOutcome, MeasureError> {
+    execute_cell_with(spec, None)
+}
+
+/// [`execute_cell`] with a simulated-cycle budget installed before the
+/// action runs — the supervisor's deterministic watchdog deadline.
+pub(crate) fn execute_cell_with(
+    spec: &CellSpec,
+    cycle_budget: Option<u64>,
+) -> Result<CellOutcome, MeasureError> {
     let mut acc = Accelerator::bring_up(&spec.config)?;
+    acc.set_cycle_budget(cycle_budget);
     if let Some(temp) = spec.force_temp_c {
         acc.board_mut().thermal_mut().force_temperature(temp);
     }
@@ -375,8 +419,9 @@ impl CampaignReport {
 /// Deterministic fork/join: computes `f(index, worker)` for every index in
 /// `0..count` across `jobs` scoped threads, returning results ordered by
 /// index. Workers pull indices from a shared atomic queue, so load
-/// balances dynamically while the output order stays fixed. With `jobs <=
-/// 1` everything runs inline on the caller's thread.
+/// balances dynamically while the output order stays fixed. `jobs == 0`
+/// means the host's available parallelism (see [`resolve_jobs`]); with a
+/// resolved single job everything runs inline on the caller's thread.
 ///
 /// `f` must not depend on `worker` for its result — the id is provided for
 /// telemetry only.
@@ -389,8 +434,8 @@ where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
 {
-    let jobs = jobs.max(1).min(count.max(1));
-    if jobs == 1 {
+    let jobs = resolve_jobs(jobs, count);
+    if jobs == 1 || count == 0 {
         return (0..count).map(|i| f(i, 0)).collect();
     }
     let next = AtomicUsize::new(0);
@@ -610,6 +655,57 @@ mod tests {
         assert_eq!(report.timing_table().len(), 2);
         assert!(report.serial_time() >= Duration::ZERO);
         assert!(report.speedup() > 0.0);
+    }
+
+    #[test]
+    fn empty_plan_runs_cleanly_for_any_jobs() {
+        let plan = CampaignPlan::new(9);
+        for jobs in [0, 1, 4] {
+            let report = plan.run(jobs).unwrap();
+            assert!(report.results.is_empty(), "jobs={jobs}");
+            assert_eq!(report.jobs, 1, "empty plan resolves to one worker");
+            assert_eq!(report.to_csv(), "");
+        }
+    }
+
+    #[test]
+    fn jobs_zero_means_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(resolve_jobs(0, 1000), cores.min(1000));
+        assert_eq!(resolve_jobs(0, 1), 1);
+        assert_eq!(resolve_jobs(3, 2), 2, "jobs clamps to cell count");
+        assert_eq!(resolve_jobs(5, 0), 1, "empty work resolves to one");
+    }
+
+    #[test]
+    fn more_jobs_than_cells_runs_cleanly() {
+        let mut plan = CampaignPlan::new(13);
+        plan.push(tiny_cell(
+            BenchmarkId::VggNet,
+            0,
+            CellAction::Measure {
+                vccint_mv: None,
+                images: 8,
+            },
+        ));
+        let wide = plan.run(64).unwrap();
+        assert_eq!(wide.jobs, 1, "jobs clamped to cell count");
+        assert_eq!(wide.to_csv(), plan.run(1).unwrap().to_csv());
+    }
+
+    #[test]
+    fn aborted_outcome_serializes_single_line() {
+        let outcome = CellOutcome::Aborted {
+            cause: "panic: step_mv must be\npositive and finite".to_string(),
+        };
+        let rows = outcome.csv_rows();
+        assert_eq!(
+            rows,
+            vec!["aborted,panic: step_mv must be positive and finite"]
+        );
+        assert!(outcome.as_sweep().is_none());
     }
 
     #[test]

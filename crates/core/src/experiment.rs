@@ -9,13 +9,19 @@
 
 use crate::bench_suite::{BenchmarkId, Workload, WorkloadConfig, WorkloadError};
 use redvolt_dpu::runtime::{DpuRuntime, RunError};
+use redvolt_faults::bus::{BusFaultProfile, PmbusFaultModel};
 use redvolt_fpga::board::{Zcu102Board, SYSCTRL_ADDRESS};
 use redvolt_fpga::calib::F_NOM_MHZ;
 use redvolt_nn::models::ModelScale;
+use redvolt_num::rng::derive_stream_seed;
 use redvolt_num::stats::Summary;
-use redvolt_pmbus::adapter::PmbusAdapter;
+use redvolt_pmbus::adapter::{BusStats, PmbusAdapter, RetryPolicy, TransactionLog};
 use redvolt_pmbus::PmbusError;
 use std::fmt;
+
+/// Seed-stream index reserved for the PMBus fault model, so the bus-fault
+/// schedule never aliases the workload's own seed streams.
+const BUS_FAULT_STREAM: u64 = 0xB05;
 
 /// PMBus address of the `VCCINT` regulator output.
 pub const VCCINT_ADDR: u8 = 0x13;
@@ -44,6 +50,12 @@ pub struct AcceleratorConfig {
     /// Undervolt `VCCBRAM` together with `VCCINT` (the paper regulates
     /// both on-chip rails; `VCCINT` dominates the power).
     pub track_bram_rail: bool,
+    /// Transient PMBus fault profile injected into the host adapter. A
+    /// non-zero profile also arms the adapter's resilient retry policy, so
+    /// measurements converge despite the injected faults. The fault
+    /// schedule derives from `seed`, keeping faulted campaigns exactly as
+    /// reproducible as clean ones.
+    pub bus_faults: BusFaultProfile,
 }
 
 impl Default for AcceleratorConfig {
@@ -58,6 +70,7 @@ impl Default for AcceleratorConfig {
             repetitions: 10,
             seed: 42,
             track_bram_rail: true,
+            bus_faults: BusFaultProfile::none(),
         }
     }
 }
@@ -201,9 +214,21 @@ impl Accelerator {
             seed: config.seed,
         })?;
         let board = Zcu102Board::new(config.board_sample);
+        // A marginal bus needs the resilient policy; a clean one keeps the
+        // historical fail-fast behaviour.
+        let host = if config.bus_faults.is_zero() {
+            PmbusAdapter::new()
+        } else {
+            PmbusAdapter::new()
+                .with_retry_policy(RetryPolicy::resilient())
+                .with_fault_model(Box::new(PmbusFaultModel::new(
+                    config.bus_faults,
+                    derive_stream_seed(config.seed, BUS_FAULT_STREAM),
+                )))
+        };
         Ok(Accelerator {
             runtime: DpuRuntime::open(board),
-            host: PmbusAdapter::new(),
+            host,
             workload,
             config: *config,
             vccint_mv: redvolt_fpga::calib::VNOM_MV,
@@ -397,9 +422,22 @@ impl Accelerator {
         Ok(self.host.set_fan_percent(board, SYSCTRL_ADDRESS, duty)?)
     }
 
-    /// The full PMBus transaction log since bring-up.
-    pub fn bus_log(&self) -> &[redvolt_pmbus::adapter::Transaction] {
+    /// The PMBus transaction log since bring-up (bounded ring; see
+    /// [`TransactionLog::total`] for the monotonic count).
+    pub fn bus_log(&self) -> &TransactionLog {
         self.host.log()
+    }
+
+    /// The host adapter's fault-handling counters (retries, injected
+    /// faults, PEC failures, scheduled backoff).
+    pub fn bus_stats(&self) -> BusStats {
+        self.host.stats()
+    }
+
+    /// Installs (or clears) a simulated-cycle budget on the runtime — the
+    /// supervisor's deterministic watchdog deadline.
+    pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.runtime.set_cycle_budget(budget);
     }
 }
 
@@ -467,6 +505,27 @@ mod tests {
         let log = a.bus_log();
         assert!(log.iter().any(|t| t.address == VCCINT_ADDR));
         assert!(log.iter().any(|t| t.address == VCCBRAM_ADDR));
+    }
+
+    #[test]
+    fn faulted_bus_measurements_reproduce_and_count_retries() {
+        let cfg = AcceleratorConfig {
+            bus_faults: BusFaultProfile::heavy(),
+            ..AcceleratorConfig::tiny(BenchmarkId::VggNet)
+        };
+        let mut a1 = Accelerator::bring_up(&cfg).unwrap();
+        let mut a2 = Accelerator::bring_up(&cfg).unwrap();
+        a1.set_vccint_mv(600.0).unwrap();
+        a2.set_vccint_mv(600.0).unwrap();
+        let m1 = a1.measure(8).unwrap();
+        let m2 = a2.measure(8).unwrap();
+        assert_eq!(m1.csv_row(), m2.csv_row(), "faulted runs must reproduce");
+        assert!(
+            a1.bus_stats().injected_faults > 0,
+            "heavy profile must fault"
+        );
+        assert_eq!(a1.bus_stats(), a2.bus_stats());
+        assert_eq!(a1.bus_stats().exhausted, 0, "resilient policy absorbs them");
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`executor`] — the parallel campaign executor: deterministic
 //!   sharding of independent (board × benchmark × config) cells across
 //!   `std::thread::scope` workers with per-cell derived seeds.
+//! * [`supervisor`] — the crash-resilient layer over the executor: panic
+//!   isolation, wall-clock/cycle-budget watchdogs, reboot-and-retry.
+//! * [`journal`] — the write-ahead journal behind `--resume`.
 //! * [`efficiency`] — GOPs/W gain analysis (Fig. 5 headline numbers).
 //! * [`freqscale`] — the Table-2 frequency-underscaling flow (§5).
 //! * [`quantexp`] — undervolting × quantization (Fig. 7, §6.1).
@@ -51,9 +54,11 @@ pub mod experiment;
 pub mod freqscale;
 pub mod governor;
 pub mod guardband;
+pub mod journal;
 pub mod mitigation;
 pub mod pruneexp;
 pub mod quantexp;
 pub mod report;
+pub mod supervisor;
 pub mod sweep;
 pub mod tempexp;

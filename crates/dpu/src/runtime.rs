@@ -33,6 +33,12 @@ pub enum RunError {
     Compile(CompileError),
     /// Inference failed (bad image shape, etc.).
     Graph(GraphError),
+    /// The runtime's simulated-cycle budget was exhausted — the watchdog's
+    /// deterministic deadline for a cell that loops without converging.
+    CycleBudgetExceeded {
+        /// The budget that was exceeded, in DPU cycles.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -41,6 +47,9 @@ impl fmt::Display for RunError {
             RunError::BoardCrashed => write!(f, "board is hung; power-cycle required"),
             RunError::Compile(e) => write!(f, "compile error: {e}"),
             RunError::Graph(e) => write!(f, "inference error: {e}"),
+            RunError::CycleBudgetExceeded { budget } => {
+                write!(f, "simulated-cycle budget of {budget} cycles exceeded")
+            }
         }
     }
 }
@@ -173,6 +182,8 @@ pub struct DpuRuntime {
     board: Zcu102Board,
     f_mhz: f64,
     cores: usize,
+    cycles_run: u64,
+    cycle_budget: Option<u64>,
 }
 
 impl DpuRuntime {
@@ -183,6 +194,33 @@ impl DpuRuntime {
             board,
             f_mhz: F_NOM_MHZ,
             cores: DEFAULT_CORES,
+            cycles_run: 0,
+            cycle_budget: None,
+        }
+    }
+
+    /// Installs (or clears) a simulated-cycle budget: once the cumulative
+    /// cycles executed by this runtime exceed it, batch runs fail with
+    /// [`RunError::CycleBudgetExceeded`]. This is the watchdog's
+    /// deterministic deadline — wall-clock caps depend on host load, cycle
+    /// budgets do not.
+    pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.cycle_budget = budget;
+    }
+
+    /// Cumulative DPU cycles executed by this runtime.
+    pub fn cycles_run(&self) -> u64 {
+        self.cycles_run
+    }
+
+    /// Charges `cycles` against the budget, failing once it is exceeded.
+    fn charge_cycles(&mut self, cycles: u64) -> Result<(), RunError> {
+        self.cycles_run = self.cycles_run.saturating_add(cycles);
+        match self.cycle_budget {
+            Some(budget) if self.cycles_run > budget => {
+                Err(RunError::CycleBudgetExceeded { budget })
+            }
+            _ => Ok(()),
         }
     }
 
@@ -256,6 +294,7 @@ impl DpuRuntime {
             let mut attempt = 0u32;
             loop {
                 attempts_total += 1;
+                self.charge_cycles(task.kernel.total_cycles())?;
                 let mut injector =
                     board_injector(&self.board, seed ^ ((i as u64) << 20) ^ u64::from(attempt));
                 let pred = task.qgraph.predict_with(img, &mut injector)?;
@@ -313,6 +352,7 @@ impl DpuRuntime {
         let mut injector = board_injector(&self.board, seed);
         let mut predictions = Vec::with_capacity(images.len());
         for img in images {
+            self.charge_cycles(task.kernel.total_cycles())?;
             predictions.push(task.qgraph.predict_with(img, &mut injector)?);
         }
         Ok(BatchResult {
@@ -466,6 +506,25 @@ mod tests {
         assert!(alex.critical_path_factor() > google.critical_path_factor());
         assert!(alex.critical_path_factor() < 1.007);
         assert!(google.critical_path_factor() >= 1.0);
+    }
+
+    #[test]
+    fn cycle_budget_trips_and_accounts() {
+        let (mut rt, mut task, images) = setup();
+        assert_eq!(rt.cycles_run(), 0);
+        rt.run_batch(&mut task, &images, 1).unwrap();
+        let after_one = rt.cycles_run();
+        assert!(after_one > 0);
+        // A budget below one more batch's worth must trip mid-run.
+        rt.set_cycle_budget(Some(after_one + task.kernel.total_cycles()));
+        let err = rt.run_batch(&mut task, &images, 1).unwrap_err();
+        assert!(
+            matches!(err, RunError::CycleBudgetExceeded { .. }),
+            "{err:?}"
+        );
+        // Clearing the budget restores service.
+        rt.set_cycle_budget(None);
+        assert!(rt.run_batch(&mut task, &images, 1).is_ok());
     }
 
     #[test]

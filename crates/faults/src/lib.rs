@@ -8,6 +8,10 @@
 //! Poisson-sampled transient bit flips inside the quantized executor of
 //! `redvolt-nn`.
 //!
+//! [`bus`] models a different failure surface: transient PMBus-transaction
+//! faults (NACKs, timeouts, read bit flips) on the *control plane*, which
+//! the host adapter's retry/verify policy must absorb.
+//!
 //! # Examples
 //!
 //! ```
@@ -22,6 +26,7 @@
 //! assert!(inj.rates().is_zero());
 //! ```
 
+pub mod bus;
 pub mod injector;
 pub mod model;
 

@@ -46,6 +46,7 @@ pub struct Zcu102Board {
     load: LoadProfile,
     crash_slack_ratio: f64,
     crashed: bool,
+    power_cycles: u64,
     telemetry_rng: Xoshiro256StarStar,
     telemetry_noise: bool,
 }
@@ -64,6 +65,7 @@ impl Zcu102Board {
             load: LoadProfile::idle(),
             crash_slack_ratio: calib::CRASH_SLACK_RATIO,
             crashed: false,
+            power_cycles: 0,
             telemetry_rng: Xoshiro256StarStar::seed_from(0xB0A2D).substream(u64::from(sample)),
             telemetry_noise: true,
         }
@@ -164,6 +166,13 @@ impl Zcu102Board {
         self.load = LoadProfile::idle();
         self.crash_slack_ratio = calib::CRASH_SLACK_RATIO;
         self.crashed = false;
+        self.power_cycles += 1;
+    }
+
+    /// Number of power cycles this board has been through — the paper's
+    /// reboot bookkeeping ("requires a full power cycle to recover").
+    pub fn power_cycles(&self) -> u64 {
+        self.power_cycles
     }
 
     fn evaluate_crash(&mut self) {

@@ -107,6 +107,50 @@ proptest! {
     }
 
     #[test]
+    fn power_cycle_restores_nominal_from_any_reachable_crashed_state(
+        sample in 0u32..10,
+        target_mv in 420u32..=538,
+        duty in 0.0f64..100.0,
+        tight_margin in 0.64f64..0.75,
+        drop_bram in any::<bool>(),
+    ) {
+        use redvolt_fpga::calib;
+
+        // Reach a crashed state the way campaigns do: fan set, workload
+        // published, margin tightened, rails driven down over PMBus until
+        // the board hangs.
+        let mut board = Zcu102Board::new(sample).with_exact_telemetry();
+        let mut host = PmbusAdapter::new();
+        board.thermal_mut().set_fan_duty(duty);
+        board.set_crash_slack_ratio(tight_margin);
+        board.set_load(LoadProfile::nominal());
+        let v = f64::from(target_mv) / 1000.0;
+        let _ = host.set_vout(&mut board, 0x13, v);
+        if drop_bram {
+            let _ = host.set_vout(&mut board, 0x14, v);
+        }
+        prop_assume!(board.is_crashed());
+
+        let reboots_before = board.power_cycles();
+        board.power_cycle();
+
+        prop_assert!(!board.is_crashed());
+        prop_assert_eq!(board.vccint_mv(), calib::VNOM_MV);
+        prop_assert_eq!(board.vccbram_mv(), calib::VNOM_MV);
+        prop_assert_eq!(board.crash_slack_ratio(), calib::CRASH_SLACK_RATIO);
+        prop_assert_eq!(board.load(), LoadProfile::idle());
+        prop_assert_eq!(board.power_cycles(), reboots_before + 1);
+        // The rails answer PMBus again at nominal.
+        let back = host.read_vout(&mut board, 0x13).unwrap();
+        prop_assert!((back - calib::VNOM_MV / 1000.0).abs() < 1e-3);
+        // Thermal state matches a fresh board with the same fan setting
+        // (the fan is external to the FPGA and survives the cycle).
+        let mut fresh = Zcu102Board::new(sample).with_exact_telemetry();
+        fresh.thermal_mut().set_fan_duty(duty);
+        prop_assert_eq!(board.junction_c(), fresh.junction_c());
+    }
+
+    #[test]
     fn pmbus_vout_round_trips_for_any_window_voltage(mv in 400u32..=950) {
         let mut board = Zcu102Board::new(0).with_exact_telemetry();
         let mut host = PmbusAdapter::new();

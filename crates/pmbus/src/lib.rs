@@ -40,6 +40,7 @@ pub mod command;
 pub mod device;
 pub mod linear;
 pub mod mux;
+pub mod pec;
 
 use std::error::Error;
 use std::fmt;
@@ -76,6 +77,37 @@ pub enum PmbusError {
         /// 7-bit bus address of the hung device.
         address: u8,
     },
+    /// The device did not acknowledge a byte mid-transaction (transient
+    /// bus glitch — retry is expected to succeed).
+    Nack {
+        /// 7-bit bus address of the transaction.
+        address: u8,
+    },
+    /// The transaction timed out (e.g. clock stretching past the host's
+    /// limit — transient, retry is expected to succeed).
+    Timeout {
+        /// 7-bit bus address of the transaction.
+        address: u8,
+    },
+    /// A read completed but its packet-error-check (PEC, CRC-8) did not
+    /// match — the wire data was corrupted in flight (transient).
+    CorruptedRead {
+        /// 7-bit bus address of the transaction.
+        address: u8,
+    },
+}
+
+impl PmbusError {
+    /// Whether the error is transient — a retry of the same transaction
+    /// can succeed (NACK, timeout, corrupted read). Hard errors (no
+    /// device, unsupported command, rejected write, hung device) are not
+    /// transient: retrying without an external intervention cannot help.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            PmbusError::Nack { .. } | PmbusError::Timeout { .. } | PmbusError::CorruptedRead { .. }
+        )
+    }
 }
 
 impl fmt::Display for PmbusError {
@@ -92,6 +124,15 @@ impl fmt::Display for PmbusError {
             PmbusError::Rejected { reason } => write!(f, "write rejected: {reason}"),
             PmbusError::DeviceHung { address } => {
                 write!(f, "device {address:#04x} is hung (board crash)")
+            }
+            PmbusError::Nack { address } => {
+                write!(f, "device {address:#04x} NACKed mid-transaction")
+            }
+            PmbusError::Timeout { address } => {
+                write!(f, "transaction to {address:#04x} timed out")
+            }
+            PmbusError::CorruptedRead { address } => {
+                write!(f, "read from {address:#04x} failed packet error check")
             }
         }
     }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-392fd5f2677dff3d.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-392fd5f2677dff3d: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

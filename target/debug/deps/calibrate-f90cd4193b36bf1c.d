@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-f90cd4193b36bf1c.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-f90cd4193b36bf1c: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

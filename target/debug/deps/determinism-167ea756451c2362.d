@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-167ea756451c2362.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-167ea756451c2362: tests/determinism.rs
+
+tests/determinism.rs:

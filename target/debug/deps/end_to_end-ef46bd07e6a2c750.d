@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ef46bd07e6a2c750.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ef46bd07e6a2c750: tests/end_to_end.rs
+
+tests/end_to_end.rs:

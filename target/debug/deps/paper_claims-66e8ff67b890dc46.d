@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-66e8ff67b890dc46.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-66e8ff67b890dc46: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-24f6b9c8bb283202.d: crates/dpu/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-24f6b9c8bb283202: crates/dpu/tests/prop.rs
+
+crates/dpu/tests/prop.rs:

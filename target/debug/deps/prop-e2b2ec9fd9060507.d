@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-e2b2ec9fd9060507.d: crates/dpu/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-e2b2ec9fd9060507.rmeta: crates/dpu/tests/prop.rs Cargo.toml
+
+crates/dpu/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

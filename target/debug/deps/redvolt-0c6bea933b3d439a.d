@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/redvolt-0c6bea933b3d439a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredvolt-0c6bea933b3d439a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

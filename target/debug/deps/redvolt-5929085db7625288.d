@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/redvolt-5929085db7625288.d: src/lib.rs
+
+/root/repo/target/debug/deps/libredvolt-5929085db7625288.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libredvolt-5929085db7625288.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/redvolt-9c33dd258fda39e4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredvolt-9c33dd258fda39e4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/redvolt-e045941315de4f2b.d: src/lib.rs
+
+/root/repo/target/debug/deps/redvolt-e045941315de4f2b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/redvolt_bench-ac5670975436e75f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/redvolt_bench-ac5670975436e75f: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

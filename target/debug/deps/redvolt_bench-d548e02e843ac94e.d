@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/redvolt_bench-d548e02e843ac94e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libredvolt_bench-d548e02e843ac94e.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libredvolt_bench-d548e02e843ac94e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

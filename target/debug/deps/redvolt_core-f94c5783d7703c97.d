@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/redvolt_core-f94c5783d7703c97.d: crates/core/src/lib.rs crates/core/src/bench_suite.rs crates/core/src/bramexp.rs crates/core/src/efficiency.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/freqscale.rs crates/core/src/governor.rs crates/core/src/guardband.rs crates/core/src/journal.rs crates/core/src/mitigation.rs crates/core/src/pruneexp.rs crates/core/src/quantexp.rs crates/core/src/report.rs crates/core/src/supervisor.rs crates/core/src/sweep.rs crates/core/src/tempexp.rs
+
+/root/repo/target/debug/deps/libredvolt_core-f94c5783d7703c97.rlib: crates/core/src/lib.rs crates/core/src/bench_suite.rs crates/core/src/bramexp.rs crates/core/src/efficiency.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/freqscale.rs crates/core/src/governor.rs crates/core/src/guardband.rs crates/core/src/journal.rs crates/core/src/mitigation.rs crates/core/src/pruneexp.rs crates/core/src/quantexp.rs crates/core/src/report.rs crates/core/src/supervisor.rs crates/core/src/sweep.rs crates/core/src/tempexp.rs
+
+/root/repo/target/debug/deps/libredvolt_core-f94c5783d7703c97.rmeta: crates/core/src/lib.rs crates/core/src/bench_suite.rs crates/core/src/bramexp.rs crates/core/src/efficiency.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/freqscale.rs crates/core/src/governor.rs crates/core/src/guardband.rs crates/core/src/journal.rs crates/core/src/mitigation.rs crates/core/src/pruneexp.rs crates/core/src/quantexp.rs crates/core/src/report.rs crates/core/src/supervisor.rs crates/core/src/sweep.rs crates/core/src/tempexp.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bench_suite.rs:
+crates/core/src/bramexp.rs:
+crates/core/src/efficiency.rs:
+crates/core/src/executor.rs:
+crates/core/src/experiment.rs:
+crates/core/src/freqscale.rs:
+crates/core/src/governor.rs:
+crates/core/src/guardband.rs:
+crates/core/src/journal.rs:
+crates/core/src/mitigation.rs:
+crates/core/src/pruneexp.rs:
+crates/core/src/quantexp.rs:
+crates/core/src/report.rs:
+crates/core/src/supervisor.rs:
+crates/core/src/sweep.rs:
+crates/core/src/tempexp.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/redvolt_dpu-296c776683a62acc.d: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredvolt_dpu-296c776683a62acc.rmeta: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs Cargo.toml
+
+crates/dpu/src/lib.rs:
+crates/dpu/src/compiler.rs:
+crates/dpu/src/engine.rs:
+crates/dpu/src/isa.rs:
+crates/dpu/src/memory.rs:
+crates/dpu/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/redvolt_dpu-7a5c66d453c1a2d8.d: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs
+
+/root/repo/target/debug/deps/redvolt_dpu-7a5c66d453c1a2d8: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs
+
+crates/dpu/src/lib.rs:
+crates/dpu/src/compiler.rs:
+crates/dpu/src/engine.rs:
+crates/dpu/src/isa.rs:
+crates/dpu/src/memory.rs:
+crates/dpu/src/runtime.rs:

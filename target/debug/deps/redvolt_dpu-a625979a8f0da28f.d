@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/redvolt_dpu-a625979a8f0da28f.d: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredvolt_dpu-a625979a8f0da28f.rmeta: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs Cargo.toml
+
+crates/dpu/src/lib.rs:
+crates/dpu/src/compiler.rs:
+crates/dpu/src/engine.rs:
+crates/dpu/src/isa.rs:
+crates/dpu/src/memory.rs:
+crates/dpu/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

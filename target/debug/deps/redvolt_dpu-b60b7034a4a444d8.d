@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/redvolt_dpu-b60b7034a4a444d8.d: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs
+
+/root/repo/target/debug/deps/libredvolt_dpu-b60b7034a4a444d8.rlib: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs
+
+/root/repo/target/debug/deps/libredvolt_dpu-b60b7034a4a444d8.rmeta: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs
+
+crates/dpu/src/lib.rs:
+crates/dpu/src/compiler.rs:
+crates/dpu/src/engine.rs:
+crates/dpu/src/isa.rs:
+crates/dpu/src/memory.rs:
+crates/dpu/src/runtime.rs:

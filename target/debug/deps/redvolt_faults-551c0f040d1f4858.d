@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/redvolt_faults-551c0f040d1f4858.d: crates/faults/src/lib.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+/root/repo/target/debug/deps/redvolt_faults-551c0f040d1f4858.d: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs
 
-/root/repo/target/debug/deps/redvolt_faults-551c0f040d1f4858: crates/faults/src/lib.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+/root/repo/target/debug/deps/redvolt_faults-551c0f040d1f4858: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs
 
 crates/faults/src/lib.rs:
+crates/faults/src/bus.rs:
 crates/faults/src/injector.rs:
 crates/faults/src/model.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/redvolt_faults-8b53dd2758918603.d: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredvolt_faults-8b53dd2758918603.rmeta: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/bus.rs:
+crates/faults/src/injector.rs:
+crates/faults/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/redvolt_faults-9af6d36c0d59dd51.d: crates/faults/src/lib.rs crates/faults/src/injector.rs crates/faults/src/model.rs Cargo.toml
+/root/repo/target/debug/deps/redvolt_faults-9af6d36c0d59dd51.d: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs Cargo.toml
 
-/root/repo/target/debug/deps/libredvolt_faults-9af6d36c0d59dd51.rmeta: crates/faults/src/lib.rs crates/faults/src/injector.rs crates/faults/src/model.rs Cargo.toml
+/root/repo/target/debug/deps/libredvolt_faults-9af6d36c0d59dd51.rmeta: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs Cargo.toml
 
 crates/faults/src/lib.rs:
+crates/faults/src/bus.rs:
 crates/faults/src/injector.rs:
 crates/faults/src/model.rs:
 Cargo.toml:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/redvolt_faults-f8eba71d66d84e15.d: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+/root/repo/target/debug/deps/libredvolt_faults-f8eba71d66d84e15.rlib: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+/root/repo/target/debug/deps/libredvolt_faults-f8eba71d66d84e15.rmeta: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/bus.rs:
+crates/faults/src/injector.rs:
+crates/faults/src/model.rs:

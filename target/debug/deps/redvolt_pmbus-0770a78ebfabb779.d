@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/redvolt_pmbus-0770a78ebfabb779.d: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs Cargo.toml
+/root/repo/target/debug/deps/redvolt_pmbus-0770a78ebfabb779.d: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs crates/pmbus/src/pec.rs Cargo.toml
 
-/root/repo/target/debug/deps/libredvolt_pmbus-0770a78ebfabb779.rmeta: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs Cargo.toml
+/root/repo/target/debug/deps/libredvolt_pmbus-0770a78ebfabb779.rmeta: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs crates/pmbus/src/pec.rs Cargo.toml
 
 crates/pmbus/src/lib.rs:
 crates/pmbus/src/adapter.rs:
@@ -8,6 +8,7 @@ crates/pmbus/src/command.rs:
 crates/pmbus/src/device.rs:
 crates/pmbus/src/linear.rs:
 crates/pmbus/src/mux.rs:
+crates/pmbus/src/pec.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

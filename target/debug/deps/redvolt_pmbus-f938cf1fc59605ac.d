@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/redvolt_pmbus-f938cf1fc59605ac.d: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs
+/root/repo/target/debug/deps/redvolt_pmbus-f938cf1fc59605ac.d: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs crates/pmbus/src/pec.rs
 
-/root/repo/target/debug/deps/redvolt_pmbus-f938cf1fc59605ac: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs
+/root/repo/target/debug/deps/redvolt_pmbus-f938cf1fc59605ac: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs crates/pmbus/src/pec.rs
 
 crates/pmbus/src/lib.rs:
 crates/pmbus/src/adapter.rs:
@@ -8,3 +8,4 @@ crates/pmbus/src/command.rs:
 crates/pmbus/src/device.rs:
 crates/pmbus/src/linear.rs:
 crates/pmbus/src/mux.rs:
+crates/pmbus/src/pec.rs:

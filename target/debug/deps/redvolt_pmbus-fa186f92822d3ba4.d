@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/redvolt_pmbus-fa186f92822d3ba4.d: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs
+/root/repo/target/debug/deps/redvolt_pmbus-fa186f92822d3ba4.d: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs crates/pmbus/src/pec.rs
 
-/root/repo/target/debug/deps/libredvolt_pmbus-fa186f92822d3ba4.rlib: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs
+/root/repo/target/debug/deps/libredvolt_pmbus-fa186f92822d3ba4.rlib: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs crates/pmbus/src/pec.rs
 
-/root/repo/target/debug/deps/libredvolt_pmbus-fa186f92822d3ba4.rmeta: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs
+/root/repo/target/debug/deps/libredvolt_pmbus-fa186f92822d3ba4.rmeta: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs crates/pmbus/src/pec.rs
 
 crates/pmbus/src/lib.rs:
 crates/pmbus/src/adapter.rs:
@@ -10,3 +10,4 @@ crates/pmbus/src/command.rs:
 crates/pmbus/src/device.rs:
 crates/pmbus/src/linear.rs:
 crates/pmbus/src/mux.rs:
+crates/pmbus/src/pec.rs:

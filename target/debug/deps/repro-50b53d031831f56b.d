@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-50b53d031831f56b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-50b53d031831f56b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-52a0cd7415f53b62.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-52a0cd7415f53b62: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

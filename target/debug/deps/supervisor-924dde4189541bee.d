@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/supervisor-924dde4189541bee.d: tests/supervisor.rs
+
+/root/repo/target/debug/deps/supervisor-924dde4189541bee: tests/supervisor.rs
+
+tests/supervisor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/supervisor-be4ad3b3a0acf606.d: tests/supervisor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsupervisor-be4ad3b3a0acf606.rmeta: tests/supervisor.rs Cargo.toml
+
+tests/supervisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

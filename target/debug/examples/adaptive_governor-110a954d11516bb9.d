@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_governor-110a954d11516bb9.d: examples/adaptive_governor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_governor-110a954d11516bb9.rmeta: examples/adaptive_governor.rs Cargo.toml
+
+examples/adaptive_governor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

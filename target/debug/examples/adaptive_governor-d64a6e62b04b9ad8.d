@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_governor-d64a6e62b04b9ad8.d: examples/adaptive_governor.rs
+
+/root/repo/target/debug/examples/adaptive_governor-d64a6e62b04b9ad8: examples/adaptive_governor.rs
+
+examples/adaptive_governor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/frequency_rescue-2fe483637556be38.d: examples/frequency_rescue.rs
+
+/root/repo/target/debug/examples/frequency_rescue-2fe483637556be38: examples/frequency_rescue.rs
+
+examples/frequency_rescue.rs:

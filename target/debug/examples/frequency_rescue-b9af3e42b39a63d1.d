@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/frequency_rescue-b9af3e42b39a63d1.d: examples/frequency_rescue.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfrequency_rescue-b9af3e42b39a63d1.rmeta: examples/frequency_rescue.rs Cargo.toml
+
+examples/frequency_rescue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

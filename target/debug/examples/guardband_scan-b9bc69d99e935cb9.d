@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/guardband_scan-b9bc69d99e935cb9.d: examples/guardband_scan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libguardband_scan-b9bc69d99e935cb9.rmeta: examples/guardband_scan.rs Cargo.toml
+
+examples/guardband_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

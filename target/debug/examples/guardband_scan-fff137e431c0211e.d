@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/guardband_scan-fff137e431c0211e.d: examples/guardband_scan.rs
+
+/root/repo/target/debug/examples/guardband_scan-fff137e431c0211e: examples/guardband_scan.rs
+
+examples/guardband_scan.rs:

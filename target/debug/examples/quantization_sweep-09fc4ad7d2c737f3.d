@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quantization_sweep-09fc4ad7d2c737f3.d: examples/quantization_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquantization_sweep-09fc4ad7d2c737f3.rmeta: examples/quantization_sweep.rs Cargo.toml
+
+examples/quantization_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

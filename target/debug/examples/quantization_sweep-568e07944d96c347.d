@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quantization_sweep-568e07944d96c347.d: examples/quantization_sweep.rs
+
+/root/repo/target/debug/examples/quantization_sweep-568e07944d96c347: examples/quantization_sweep.rs
+
+examples/quantization_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-080684d81296f6c2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-080684d81296f6c2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/razor_mitigation-2a9b51ef7c2b9d08.d: examples/razor_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/examples/librazor_mitigation-2a9b51ef7c2b9d08.rmeta: examples/razor_mitigation.rs Cargo.toml
+
+examples/razor_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

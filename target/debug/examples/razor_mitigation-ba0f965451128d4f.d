@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/razor_mitigation-ba0f965451128d4f.d: examples/razor_mitigation.rs
+
+/root/repo/target/debug/examples/razor_mitigation-ba0f965451128d4f: examples/razor_mitigation.rs
+
+examples/razor_mitigation.rs:

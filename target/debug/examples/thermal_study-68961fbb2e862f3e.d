@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/thermal_study-68961fbb2e862f3e.d: examples/thermal_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthermal_study-68961fbb2e862f3e.rmeta: examples/thermal_study.rs Cargo.toml
+
+examples/thermal_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

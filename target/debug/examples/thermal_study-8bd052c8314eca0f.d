@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thermal_study-8bd052c8314eca0f.d: examples/thermal_study.rs
+
+/root/repo/target/debug/examples/thermal_study-8bd052c8314eca0f: examples/thermal_study.rs
+
+examples/thermal_study.rs:

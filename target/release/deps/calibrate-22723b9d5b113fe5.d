@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-22723b9d5b113fe5.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-22723b9d5b113fe5: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cycles_probe-2af78c35c0757039.d: tests/cycles_probe.rs
+
+/root/repo/target/release/deps/cycles_probe-2af78c35c0757039: tests/cycles_probe.rs
+
+tests/cycles_probe.rs:

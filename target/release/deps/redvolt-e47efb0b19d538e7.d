@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/redvolt-e47efb0b19d538e7.d: src/lib.rs
+
+/root/repo/target/release/deps/libredvolt-e47efb0b19d538e7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libredvolt-e47efb0b19d538e7.rmeta: src/lib.rs
+
+src/lib.rs:

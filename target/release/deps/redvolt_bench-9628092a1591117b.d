@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/redvolt_bench-9628092a1591117b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libredvolt_bench-9628092a1591117b.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libredvolt_bench-9628092a1591117b.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

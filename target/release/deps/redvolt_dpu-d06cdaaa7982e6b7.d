@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/redvolt_dpu-d06cdaaa7982e6b7.d: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs
+
+/root/repo/target/release/deps/libredvolt_dpu-d06cdaaa7982e6b7.rlib: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs
+
+/root/repo/target/release/deps/libredvolt_dpu-d06cdaaa7982e6b7.rmeta: crates/dpu/src/lib.rs crates/dpu/src/compiler.rs crates/dpu/src/engine.rs crates/dpu/src/isa.rs crates/dpu/src/memory.rs crates/dpu/src/runtime.rs
+
+crates/dpu/src/lib.rs:
+crates/dpu/src/compiler.rs:
+crates/dpu/src/engine.rs:
+crates/dpu/src/isa.rs:
+crates/dpu/src/memory.rs:
+crates/dpu/src/runtime.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/redvolt_faults-566e18fe36e0d653.d: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+/root/repo/target/release/deps/libredvolt_faults-566e18fe36e0d653.rlib: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+/root/repo/target/release/deps/libredvolt_faults-566e18fe36e0d653.rmeta: crates/faults/src/lib.rs crates/faults/src/bus.rs crates/faults/src/injector.rs crates/faults/src/model.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/bus.rs:
+crates/faults/src/injector.rs:
+crates/faults/src/model.rs:

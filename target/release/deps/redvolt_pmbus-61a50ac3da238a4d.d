@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/redvolt_pmbus-61a50ac3da238a4d.d: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs
+/root/repo/target/release/deps/redvolt_pmbus-61a50ac3da238a4d.d: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs crates/pmbus/src/pec.rs
 
-/root/repo/target/release/deps/libredvolt_pmbus-61a50ac3da238a4d.rlib: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs
+/root/repo/target/release/deps/libredvolt_pmbus-61a50ac3da238a4d.rlib: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs crates/pmbus/src/pec.rs
 
-/root/repo/target/release/deps/libredvolt_pmbus-61a50ac3da238a4d.rmeta: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs
+/root/repo/target/release/deps/libredvolt_pmbus-61a50ac3da238a4d.rmeta: crates/pmbus/src/lib.rs crates/pmbus/src/adapter.rs crates/pmbus/src/command.rs crates/pmbus/src/device.rs crates/pmbus/src/linear.rs crates/pmbus/src/mux.rs crates/pmbus/src/pec.rs
 
 crates/pmbus/src/lib.rs:
 crates/pmbus/src/adapter.rs:
@@ -10,3 +10,4 @@ crates/pmbus/src/command.rs:
 crates/pmbus/src/device.rs:
 crates/pmbus/src/linear.rs:
 crates/pmbus/src/mux.rs:
+crates/pmbus/src/pec.rs:

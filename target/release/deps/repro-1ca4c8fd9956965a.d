@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-1ca4c8fd9956965a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-1ca4c8fd9956965a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

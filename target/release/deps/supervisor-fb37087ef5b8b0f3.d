@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/supervisor-fb37087ef5b8b0f3.d: tests/supervisor.rs
+
+/root/repo/target/release/deps/supervisor-fb37087ef5b8b0f3: tests/supervisor.rs
+
+tests/supervisor.rs:
