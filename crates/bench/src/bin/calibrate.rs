@@ -17,17 +17,27 @@
 //! search as it completes; `--resume` skips the journaled boards on a
 //! rerun. The fits themselves are cheap closed-form checks and always
 //! rerun.
+//!
+//! `--metrics-out PATH` / `--prom-out PATH` export the calibration run's
+//! telemetry (check and miss counters, per-board Vmin/Vcrash gauges);
+//! `--progress SECS` reports the board searches live on stderr.
 
 use redvolt_bench::harness::CampaignOptions;
 use redvolt_core::executor::run_indexed;
 use redvolt_core::journal::{read_journal, JournalEntry, JournalWriter};
+use redvolt_core::telemetry::CampaignTelemetry;
 use redvolt_fpga::calib;
 use redvolt_fpga::power::{LoadProfile, PowerModel};
 use redvolt_fpga::timing::TimingModel;
 use redvolt_fpga::variation::BoardCorner;
+use redvolt_telemetry::{Registry, SpanRing};
 
-fn check(name: &str, got: f64, want: f64, tol: f64) -> bool {
+fn check(reg: &Registry, name: &str, got: f64, want: f64, tol: f64) -> bool {
     let ok = (got - want).abs() <= tol;
+    reg.counter("calibrate_checks_total", &[]).inc();
+    if !ok {
+        reg.counter("calibrate_checks_missed_total", &[]).inc();
+    }
     println!(
         "  [{}] {name}: got {got:.4}, target {want:.4} (tol {tol})",
         if ok { "ok" } else { "MISS" }
@@ -49,6 +59,7 @@ fn main() {
         }
     };
     let jobs = opts.jobs;
+    let reg = Registry::new();
     let mut all_ok = true;
     println!("== Leakage temperature coefficient ==");
     // Paper §7.1: power rises 0.46% over 34->52 C at 850 mV. With the
@@ -57,6 +68,7 @@ fn main() {
     let share = leak_nom / calib::P_ONCHIP_NOM_W;
     let c = ((0.0046 / share) + 1.0f64).ln() / 18.0;
     all_ok &= check(
+        &reg,
         "LEAK_TEMP_PER_C (analytic)",
         c,
         calib::LEAK_TEMP_PER_C,
@@ -75,6 +87,7 @@ fn main() {
     };
     let c_fit = redvolt_num::fit::golden_section_min(objective, 1e-4, 2e-2, 1e-8);
     all_ok &= check(
+        &reg,
         "LEAK_TEMP_PER_C (refit)",
         c_fit,
         calib::LEAK_TEMP_PER_C,
@@ -87,8 +100,8 @@ fn main() {
     let nom = pm.vccint_w(850.0, t, &LoadProfile::nominal());
     let vmin = pm.vccint_w(570.0, t, &LoadProfile::nominal());
     let crash = pm.vccint_w(540.0, t, &LoadProfile::nominal());
-    all_ok &= check("gain at Vmin (paper 2.6x)", nom / vmin, 2.6, 0.05);
-    all_ok &= check("gain at Vcrash (paper >3x)", nom / crash, 3.6, 0.3);
+    all_ok &= check(&reg, "gain at Vmin (paper 2.6x)", nom / vmin, 2.6, 0.05);
+    all_ok &= check(&reg, "gain at Vcrash (paper >3x)", nom / crash, 3.6, 0.3);
     let table2 = [
         (565.0, 300.0, 0.94, 0.97),
         (560.0, 250.0, 0.83, 0.84),
@@ -108,7 +121,13 @@ fn main() {
                 critical_path_factor: 1.0,
             },
         ) / vmin;
-        all_ok &= check(&format!("Table2 power norm @{mv:.0}mV"), p, p_norm, 0.06);
+        all_ok &= check(
+            &reg,
+            &format!("Table2 power norm @{mv:.0}mV"),
+            p,
+            p_norm,
+            0.06,
+        );
     }
 
     println!("== Fmax surface quantizes to Table 2 ==");
@@ -129,7 +148,13 @@ fn main() {
         (545.0, 250.0),
         (540.0, 200.0),
     ] {
-        all_ok &= check(&format!("Fmax grid @{mv:.0}mV"), grid_fmax(mv), want, 0.0);
+        all_ok &= check(
+            &reg,
+            &format!("Fmax grid @{mv:.0}mV"),
+            grid_fmax(mv),
+            want,
+            0.0,
+        );
     }
 
     println!("== Process-variation spreads (paper: dVmin 31mV, dVcrash 18mV) ==");
@@ -179,10 +204,18 @@ fn main() {
         })
     });
     let pending: Vec<usize> = (0..3).filter(|i| !journaled.contains_key(i)).collect();
+    let progress = opts.progress_reporter(pending.len());
     let fresh: Vec<(usize, f64, f64)> = run_indexed(pending.len(), jobs, |k, _worker| {
         let sample = pending[k];
-        (sample, vmin_of(sample as u32), vcrash_of(sample as u32))
+        let found = (sample, vmin_of(sample as u32), vcrash_of(sample as u32));
+        if let Some(p) = &progress {
+            p.cell_done(false, 0, 0);
+        }
+        found
     });
+    if let Some(p) = &progress {
+        p.finish();
+    }
     if let Some(w) = writer.as_mut() {
         for &(sample, vmin, vcrash) in &fresh {
             let entry = JournalEntry {
@@ -220,9 +253,15 @@ fn main() {
     };
     println!("  Vmin per board:   {vmins:?}");
     println!("  Vcrash per board: {vcrashes:?}");
-    all_ok &= check("dVmin", spread(&vmins), 31.0, 10.0);
-    all_ok &= check("dVcrash", spread(&vcrashes), 18.0, 8.0);
-    all_ok &= check("mean Vmin", vmins.iter().sum::<f64>() / 3.0, 570.0, 7.0);
+    all_ok &= check(&reg, "dVmin", spread(&vmins), 31.0, 10.0);
+    all_ok &= check(&reg, "dVcrash", spread(&vcrashes), 18.0, 8.0);
+    all_ok &= check(
+        &reg,
+        "mean Vmin",
+        vmins.iter().sum::<f64>() / 3.0,
+        570.0,
+        7.0,
+    );
 
     println!("== Temperature sensitivity of power (Fig 9) ==");
     let rel = |v: f64| {
@@ -230,8 +269,25 @@ fn main() {
         let hot = pm.vccint_w(v, 52.0, &LoadProfile::nominal());
         (hot - cold) / cold
     };
-    all_ok &= check("rise @850mV (paper 0.46%)", rel(850.0), 0.0046, 0.001);
-    all_ok &= check("rise @650mV (paper 0.15%)", rel(650.0), 0.0015, 0.001);
+    all_ok &= check(&reg, "rise @850mV (paper 0.46%)", rel(850.0), 0.0046, 0.001);
+    all_ok &= check(&reg, "rise @650mV (paper 0.15%)", rel(650.0), 0.0015, 0.001);
+
+    // Per-board search results as gauges, alongside the check counters.
+    for sample in 0..3usize {
+        let board = sample.to_string();
+        reg.gauge("calibrate_vmin_mv", &[("board", &board)])
+            .set(vmins[sample]);
+        reg.gauge("calibrate_vcrash_mv", &[("board", &board)])
+            .set(vcrashes[sample]);
+    }
+    let telem = CampaignTelemetry {
+        registry: reg,
+        spans: SpanRing::new(),
+    };
+    if let Err(e) = opts.export_telemetry(&telem) {
+        eprintln!("error: telemetry export: {e}");
+        std::process::exit(2);
+    }
 
     if all_ok {
         println!("\nall calibration constants verified against paper anchors");

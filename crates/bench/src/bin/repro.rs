@@ -26,10 +26,17 @@
 //! that journal. `--halt-after-cells K` deterministically stops after K
 //! newly journaled cells (exit code 3) — the hook CI uses to prove that
 //! interrupted-then-resumed output is byte-identical to a straight run.
+//!
+//! Telemetry: `--metrics-out PATH` writes the campaign's JSONL event
+//! stream (spans + metrics), `--prom-out PATH` writes the Prometheus
+//! text exposition, and `--progress SECS` emits live progress lines to
+//! stderr. Exported metric bytes are a pure function of (seed, plan) —
+//! identical for every `--jobs` value.
 
 use redvolt_bench::harness::{
     self, CampaignOptions, Settings, ALL_EXPERIMENTS, SWEEP_CACHED_EXPERIMENTS, VALUE_FLAGS,
 };
+use redvolt_core::telemetry::{bus_stats_table, CampaignObserver, CampaignTelemetry};
 use std::time::Instant;
 
 fn main() {
@@ -81,11 +88,13 @@ fn main() {
         .any(|w| SWEEP_CACHED_EXPERIMENTS.contains(&w.as_str()))
     {
         let journal = opts.journal_spec();
-        let sup = match harness::prefetch_sweeps_with(
+        let progress = opts.progress_reporter(harness::sweep_plan(&settings).len());
+        let sup = match harness::prefetch_sweeps_observed(
             &settings,
             opts.jobs,
             &opts.supervisor_config(),
             journal.as_ref(),
+            progress.as_ref().map(|p| p as &dyn CampaignObserver),
         ) {
             Ok(sup) => sup,
             Err(e) => {
@@ -93,6 +102,9 @@ fn main() {
                 std::process::exit(2);
             }
         };
+        if let Some(p) = &progress {
+            p.finish();
+        }
         if sup.resumed_cells > 0 {
             eprintln!("# resumed {} journaled cells", sup.resumed_cells);
         }
@@ -100,6 +112,16 @@ fn main() {
             eprintln!("# {} cells aborted (see report)", sup.aborted_cells);
         }
         eprintln!("{}", sup.report.timing_table().to_text());
+        // PMBus bus health + telemetry summary go to stdout: every field
+        // is an integer counter that round-trips through the journal, so
+        // straight and interrupted-then-resumed runs print the same bytes.
+        let telem = CampaignTelemetry::collect(&sup.report);
+        println!("{}", bus_stats_table(&sup.report).to_text());
+        println!("{}", telem.summary_table().to_text());
+        if let Err(e) = opts.export_telemetry(&telem) {
+            eprintln!("error: telemetry export: {e}");
+            std::process::exit(2);
+        }
         if sup.interrupted {
             eprintln!(
                 "# campaign halted after {} newly journaled cells; rerun with --resume",

@@ -9,14 +9,16 @@ use redvolt_core::pruneexp::{pruning_study, PruneStudy};
 use redvolt_core::quantexp::{quantization_study, QuantStudy, FIG7_PRECISIONS};
 use redvolt_core::report::{fmt, norm, pct, Table};
 use redvolt_core::supervisor::{
-    run_supervised, JournalSpec, SupervisedReport, SupervisorConfig, SupervisorError,
+    run_supervised_observed, JournalSpec, SupervisedReport, SupervisorConfig, SupervisorError,
 };
 use redvolt_core::sweep::{voltage_sweep, SweepConfig, VoltageSweep};
+use redvolt_core::telemetry::{CampaignObserver, CampaignTelemetry};
 use redvolt_core::tempexp::{temperature_study, TempStudy, SETPOINTS_C};
 use redvolt_core::{efficiency, experiment::Measurement};
 use redvolt_faults::bus::BusFaultProfile;
 use redvolt_nn::models::ModelScale;
 use redvolt_num::stats;
+use redvolt_telemetry::progress::ProgressReporter;
 use std::path::PathBuf;
 
 /// Campaign settings shared by every reproduction.
@@ -147,15 +149,38 @@ pub fn prefetch_sweeps_with(
     config: &SupervisorConfig,
     journal: Option<&JournalSpec>,
 ) -> Result<SupervisedReport, SupervisorError> {
+    prefetch_sweeps_observed(s, jobs, config, journal, None)
+}
+
+/// The sweep-grid campaign plan [`prefetch_sweeps`] executes — exposed so
+/// callers can size progress reporters before the run starts.
+pub fn sweep_plan(s: &Settings) -> CampaignPlan {
     let base = s.config(BenchmarkId::VggNet, s.boards[0]);
-    let plan = CampaignPlan::sweep_grid(
+    CampaignPlan::sweep_grid(
         base.seed,
         &BenchmarkId::ALL,
         &s.boards,
         base,
         fig_sweep(s.images),
-    );
-    let sup = run_supervised(&plan, jobs, config, journal)?;
+    )
+}
+
+/// [`prefetch_sweeps_with`] plus a live progress observer (the `repro`
+/// binary's `--progress` reporter). The observer sees cells in completion
+/// order on stderr; the returned report and cache are unaffected by it.
+///
+/// # Errors
+///
+/// See [`prefetch_sweeps_with`].
+pub fn prefetch_sweeps_observed(
+    s: &Settings,
+    jobs: usize,
+    config: &SupervisorConfig,
+    journal: Option<&JournalSpec>,
+    observer: Option<&dyn CampaignObserver>,
+) -> Result<SupervisedReport, SupervisorError> {
+    let plan = sweep_plan(s);
+    let sup = run_supervised_observed(&plan, jobs, config, journal, observer)?;
     let mut cache = sweep_cache().lock().expect("cache lock");
     for r in &sup.report.results {
         if let Some(sweep) = r.outcome.as_sweep() {
@@ -195,12 +220,15 @@ pub fn parse_jobs(args: &[String]) -> usize {
 
 /// Flags that consume the following argument. The binaries use this to
 /// tell option values apart from experiment names when filtering argv.
-pub const VALUE_FLAGS: [&str; 5] = [
+pub const VALUE_FLAGS: [&str; 8] = [
     "--jobs",
     "--journal",
     "--max-attempts",
     "--fault-profile",
     "--halt-after-cells",
+    "--metrics-out",
+    "--prom-out",
+    "--progress",
 ];
 
 /// Campaign-level options shared by the `repro` and `calibrate` binaries:
@@ -221,6 +249,15 @@ pub struct CampaignOptions {
     /// Stop after journaling this many new cells (`--halt-after-cells K`)
     /// — a deterministic kill switch for resume testing.
     pub halt_after: Option<usize>,
+    /// Write the campaign's telemetry JSONL event stream here
+    /// (`--metrics-out PATH`).
+    pub metrics_out: Option<PathBuf>,
+    /// Write the campaign's Prometheus text exposition here
+    /// (`--prom-out PATH`).
+    pub prom_out: Option<PathBuf>,
+    /// Emit live progress to stderr at most every this many seconds
+    /// (`--progress SECS`; 0 = on every completed cell).
+    pub progress: Option<u64>,
 }
 
 impl Default for CampaignOptions {
@@ -232,6 +269,9 @@ impl Default for CampaignOptions {
             max_attempts: SupervisorConfig::default().max_attempts,
             fault_profile: BusFaultProfile::none(),
             halt_after: None,
+            metrics_out: None,
+            prom_out: None,
+            progress: None,
         }
     }
 }
@@ -293,6 +333,22 @@ impl CampaignOptions {
                             .ok_or("--halt-after-cells needs a cell count")?,
                     );
                 }
+                "--metrics-out" => {
+                    let path = value.ok_or("--metrics-out needs a file path")?;
+                    opts.metrics_out = Some(PathBuf::from(path));
+                }
+                "--prom-out" => {
+                    let path = value.ok_or("--prom-out needs a file path")?;
+                    opts.prom_out = Some(PathBuf::from(path));
+                }
+                "--progress" => {
+                    opts.progress = Some(
+                        value
+                            .as_deref()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--progress needs an interval in whole seconds")?,
+                    );
+                }
                 _ => {}
             }
             i += 1;
@@ -317,6 +373,29 @@ impl CampaignOptions {
         self.journal
             .as_ref()
             .map(|path| JournalSpec::new(path.clone(), self.resume))
+    }
+
+    /// The live stderr progress reporter `--progress` selects, sized for
+    /// a campaign of `total_cells`.
+    pub fn progress_reporter(&self, total_cells: usize) -> Option<ProgressReporter> {
+        self.progress
+            .map(|secs| ProgressReporter::new(total_cells, std::time::Duration::from_secs(secs)))
+    }
+
+    /// Writes the telemetry exports `--metrics-out` / `--prom-out`
+    /// request (no-op when neither flag was given).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write errors.
+    pub fn export_telemetry(&self, telemetry: &CampaignTelemetry) -> std::io::Result<()> {
+        if let Some(path) = &self.metrics_out {
+            telemetry.write_jsonl(path)?;
+        }
+        if let Some(path) = &self.prom_out {
+            telemetry.write_prometheus(path)?;
+        }
+        Ok(())
     }
 }
 

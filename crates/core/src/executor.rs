@@ -28,6 +28,7 @@ use crate::experiment::{Accelerator, AcceleratorConfig, MeasureError, Measuremen
 use crate::governor::{run_governor, GovernorConfig, GovernorTrace};
 use crate::report::Table;
 use crate::sweep::{voltage_sweep, SweepConfig, VoltageSweep};
+use crate::telemetry::CellTelemetry;
 use redvolt_num::rng::derive_stream_seed;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -146,6 +147,10 @@ pub struct CellResult {
     /// supervisor retried it after crashes, hangs, or bus-fault
     /// exhaustion).
     pub attempts: u32,
+    /// Deterministic per-cell telemetry (cycles, faults, bus health,
+    /// spans), drained from the cell's accelerator. Default (all zero)
+    /// when the cell never brought up.
+    pub telemetry: CellTelemetry,
 }
 
 /// A campaign cell failed with a non-crash error.
@@ -269,11 +274,12 @@ impl CampaignPlan {
                 config: self.cells[index].config.with_seed(self.cell_seed(index)),
                 ..self.cells[index].clone()
             };
-            let outcome = execute_cell(&spec);
-            (spec, outcome, cell_started.elapsed(), worker)
+            let (outcome, telemetry) = execute_cell(&spec);
+            (spec, outcome, telemetry, cell_started.elapsed(), worker)
         });
         let mut results = Vec::with_capacity(outcomes.len());
-        for (index, (spec, outcome, elapsed, worker)) in outcomes.into_iter().enumerate() {
+        for (index, (spec, outcome, telemetry, elapsed, worker)) in outcomes.into_iter().enumerate()
+        {
             match outcome {
                 Ok(outcome) => results.push(CellResult {
                     index,
@@ -282,6 +288,7 @@ impl CampaignPlan {
                     elapsed,
                     worker,
                     attempts: 1,
+                    telemetry,
                 }),
                 Err(source) => {
                     return Err(CampaignError {
@@ -316,8 +323,10 @@ pub fn resolve_jobs(jobs: usize, count: usize) -> usize {
 
 /// Brings up the cell's accelerator and drives its action once — the unit
 /// of work both [`CampaignPlan::run`] and the supervisor's per-attempt
-/// worker execute.
-pub(crate) fn execute_cell(spec: &CellSpec) -> Result<CellOutcome, MeasureError> {
+/// worker execute. Alongside the outcome it returns the attempt's drained
+/// telemetry (default when bring-up itself failed, so there is nothing to
+/// drain).
+pub(crate) fn execute_cell(spec: &CellSpec) -> (Result<CellOutcome, MeasureError>, CellTelemetry) {
     execute_cell_with(spec, None)
 }
 
@@ -326,24 +335,30 @@ pub(crate) fn execute_cell(spec: &CellSpec) -> Result<CellOutcome, MeasureError>
 pub(crate) fn execute_cell_with(
     spec: &CellSpec,
     cycle_budget: Option<u64>,
-) -> Result<CellOutcome, MeasureError> {
-    let mut acc = Accelerator::bring_up(&spec.config)?;
+) -> (Result<CellOutcome, MeasureError>, CellTelemetry) {
+    let mut acc = match Accelerator::bring_up(&spec.config) {
+        Ok(acc) => acc,
+        Err(e) => return (Err(e), CellTelemetry::default()),
+    };
     acc.set_cycle_budget(cycle_budget);
     if let Some(temp) = spec.force_temp_c {
         acc.board_mut().thermal_mut().force_temperature(temp);
     }
-    match &spec.action {
-        CellAction::Sweep(cfg) => Ok(CellOutcome::Sweep(voltage_sweep(&mut acc, cfg)?)),
-        CellAction::Governor { config, batches } => Ok(CellOutcome::Governor(run_governor(
-            &mut acc, config, *batches,
-        )?)),
-        CellAction::Measure { vccint_mv, images } => {
-            if let Some(mv) = vccint_mv {
-                acc.set_vccint_mv(*mv)?;
-            }
-            Ok(CellOutcome::Measure(acc.measure(*images)?))
+    let outcome = match &spec.action {
+        CellAction::Sweep(cfg) => voltage_sweep(&mut acc, cfg).map(CellOutcome::Sweep),
+        CellAction::Governor { config, batches } => {
+            run_governor(&mut acc, config, *batches).map(CellOutcome::Governor)
         }
-    }
+        CellAction::Measure { vccint_mv, images } => {
+            let set = match vccint_mv {
+                Some(mv) => acc.set_vccint_mv(*mv),
+                None => Ok(()),
+            };
+            set.and_then(|()| acc.measure(*images).map(CellOutcome::Measure))
+        }
+    };
+    let telemetry = acc.take_telemetry();
+    (outcome, telemetry)
 }
 
 /// A finished campaign: per-cell results in plan order plus timing.

@@ -8,6 +8,7 @@
 //! data point averages repeated measurements (the paper uses 10).
 
 use crate::bench_suite::{BenchmarkId, Workload, WorkloadConfig, WorkloadError};
+use crate::telemetry::CellTelemetry;
 use redvolt_dpu::runtime::{DpuRuntime, RunError};
 use redvolt_faults::bus::{BusFaultProfile, PmbusFaultModel};
 use redvolt_fpga::board::{Zcu102Board, SYSCTRL_ADDRESS};
@@ -17,6 +18,7 @@ use redvolt_num::rng::derive_stream_seed;
 use redvolt_num::stats::Summary;
 use redvolt_pmbus::adapter::{BusStats, PmbusAdapter, RetryPolicy, TransactionLog};
 use redvolt_pmbus::PmbusError;
+use redvolt_telemetry::SpanRing;
 use std::fmt;
 
 /// Seed-stream index reserved for the PMBus fault model, so the bus-fault
@@ -194,6 +196,11 @@ pub struct Accelerator {
     config: AcceleratorConfig,
     vccint_mv: f64,
     seed_counter: u64,
+    /// Local span recording for the observability layer: bus voltage
+    /// steps, DPU runs and power cycles, timestamped in simulated cycles.
+    /// Drained (and re-parented under the cell/attempt span) by
+    /// [`Accelerator::take_telemetry`].
+    spans: SpanRing,
 }
 
 impl Accelerator {
@@ -233,6 +240,7 @@ impl Accelerator {
             config: *config,
             vccint_mv: redvolt_fpga::calib::VNOM_MV,
             seed_counter: config.seed,
+            spans: SpanRing::new(),
         })
     }
 
@@ -284,6 +292,12 @@ impl Accelerator {
     /// Propagates PMBus rejections (out-of-window voltages) and reports a
     /// hang as [`MeasureError::Crashed`].
     pub fn set_vccint_mv(&mut self, mv: f64) -> Result<(), MeasureError> {
+        let result = self.set_vccint_mv_inner(mv);
+        self.record_bus_span("vccint", mv, result.is_ok());
+        result
+    }
+
+    fn set_vccint_mv_inner(&mut self, mv: f64) -> Result<(), MeasureError> {
         let volts = mv / 1000.0;
         let track = self.config.track_bram_rail;
         let board = self.runtime.board_mut();
@@ -307,6 +321,17 @@ impl Accelerator {
         Ok(())
     }
 
+    /// Records a zero-duration `bus_set_vout` span at the current
+    /// simulated cycle (bus transactions consume no DPU cycles).
+    fn record_bus_span(&mut self, rail: &str, mv: f64, ok: bool) {
+        let cycle = self.runtime.cycles_run();
+        let id = self.spans.begin("bus_set_vout", None, cycle);
+        self.spans.attr(id, "rail", rail);
+        self.spans.attr(id, "mv", &format!("{mv:?}"));
+        self.spans.attr(id, "ok", if ok { "1" } else { "0" });
+        self.spans.end(id, cycle);
+    }
+
     /// Commands `VCCBRAM` alone over PMBus (the rail-separation study:
     /// the paper tracks both rails together, but the BRAM rail can be
     /// driven independently to probe its own fault floor).
@@ -316,11 +341,13 @@ impl Accelerator {
     /// See [`Accelerator::set_vccint_mv`].
     pub fn set_vccbram_mv(&mut self, mv: f64) -> Result<(), MeasureError> {
         let board = self.runtime.board_mut();
-        match self.host.set_vout(board, VCCBRAM_ADDR, mv / 1000.0) {
+        let result = match self.host.set_vout(board, VCCBRAM_ADDR, mv / 1000.0) {
             Ok(()) => Ok(()),
             Err(PmbusError::DeviceHung { .. }) => Err(MeasureError::Crashed { vccint_mv: mv }),
             Err(e) => Err(e.into()),
-        }
+        };
+        self.record_bus_span("vccbram", mv, result.is_ok());
+        result
     }
 
     /// Power-cycles the board and restores the nominal operating point.
@@ -328,6 +355,9 @@ impl Accelerator {
         self.runtime.board_mut().power_cycle();
         self.vccint_mv = redvolt_fpga::calib::VNOM_MV;
         self.runtime.set_clock_mhz(F_NOM_MHZ);
+        let cycle = self.runtime.cycles_run();
+        let id = self.spans.begin("power_cycle", None, cycle);
+        self.spans.end(id, cycle);
     }
 
     /// Runs one measurement over the first `images` evaluation images,
@@ -340,6 +370,18 @@ impl Accelerator {
     ///
     /// Returns [`MeasureError::Crashed`] if the board hangs.
     pub fn measure(&mut self, images: usize) -> Result<Measurement, MeasureError> {
+        let start_cycle = self.runtime.cycles_run();
+        let id = self.spans.begin("measure", None, start_cycle);
+        self.spans
+            .attr(id, "vccint_mv", &format!("{:?}", self.vccint_mv));
+        let result = self.measure_inner(images);
+        self.spans
+            .attr(id, "ok", if result.is_ok() { "1" } else { "0" });
+        self.spans.end(id, self.runtime.cycles_run());
+        result
+    }
+
+    fn measure_inner(&mut self, images: usize) -> Result<Measurement, MeasureError> {
         let n = images.min(self.workload.eval.len()).max(1);
         let eval_images = &self.workload.eval.images[..n];
         let labels = &self.workload.eval.labels[..n];
@@ -358,11 +400,19 @@ impl Accelerator {
         let mut junction = 0.0;
         for _ in 0..reps {
             self.seed_counter = self.seed_counter.wrapping_add(1);
-            let result = match self.runtime.run_batch(
-                &mut self.workload.task,
-                eval_images,
-                self.seed_counter,
-            ) {
+            let run_start = self.runtime.cycles_run();
+            let batch =
+                self.runtime
+                    .run_batch(&mut self.workload.task, eval_images, self.seed_counter);
+            let run_id = self.spans.begin("dpu_run", None, run_start);
+            self.spans
+                .attr(run_id, "ok", if batch.is_ok() { "1" } else { "0" });
+            if let Ok(r) = &batch {
+                self.spans
+                    .attr(run_id, "faults", &r.injected_faults.to_string());
+            }
+            self.spans.end(run_id, self.runtime.cycles_run());
+            let result = match batch {
                 Ok(r) => r,
                 Err(RunError::BoardCrashed) => {
                     return Err(MeasureError::Crashed {
@@ -438,6 +488,36 @@ impl Accelerator {
     /// supervisor's deterministic watchdog deadline.
     pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
         self.runtime.set_cycle_budget(budget);
+    }
+
+    /// Cumulative simulated DPU cycles this accelerator has executed.
+    pub fn cycles_run(&self) -> u64 {
+        self.runtime.cycles_run()
+    }
+
+    /// Cumulative transient faults the DPU observed across every batch.
+    pub fn faults_observed(&self) -> u64 {
+        self.runtime.faults_observed()
+    }
+
+    /// Drains this accelerator's telemetry: scalar counters/gauges plus
+    /// the recorded spans (ids local to this accelerator; the campaign
+    /// layer re-parents and re-bases them in plan order). Everything here
+    /// is a pure function of `(seed, config)` — simulated cycles, seeded
+    /// fault schedules, commanded rails — never wall clock.
+    pub fn take_telemetry(&mut self) -> CellTelemetry {
+        let snap = self.runtime.board().snapshot();
+        CellTelemetry {
+            cycles: self.runtime.cycles_run(),
+            dpu_faults: self.runtime.faults_observed(),
+            bus: self.host.stats(),
+            bus_transactions: self.host.log().total(),
+            power_cycles: snap.power_cycles,
+            vccint_mv: snap.vccint_mv,
+            vccbram_mv: snap.vccbram_mv,
+            junction_c: snap.junction_c,
+            spans: self.spans.take(),
+        }
     }
 }
 

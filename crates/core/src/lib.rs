@@ -24,6 +24,9 @@
 //! * [`pruneexp`] — undervolting × pruning (Fig. 8, §6.2).
 //! * [`tempexp`] — temperature effects (Figs. 9 & 10, §7).
 //! * [`report`] — plain-text / CSV emitters used by the `repro` binary.
+//! * [`telemetry`] — the deterministic observability layer: per-cell
+//!   collection, plan-order aggregation into `redvolt-telemetry`
+//!   metrics/spans, exporter plumbing and live progress.
 //!
 //! # Examples
 //!
@@ -61,4 +64,5 @@ pub mod quantexp;
 pub mod report;
 pub mod supervisor;
 pub mod sweep;
+pub mod telemetry;
 pub mod tempexp;

@@ -25,13 +25,40 @@ impl Table {
 
     /// Appends a row.
     ///
+    /// A mismatched cell count is an emitter bug, so debug builds panic
+    /// on it; release builds normalize the row instead — padding with
+    /// empty cells or truncating — rather than abort a multi-hour
+    /// campaign at print time. Use [`Table::try_row`] to surface the
+    /// mismatch as a value.
+    ///
     /// # Panics
     ///
-    /// Panics if the cell count does not match the header count.
+    /// With debug assertions enabled, panics if the cell count does not
+    /// match the header count.
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
-        self.rows.push(cells.to_vec());
+        debug_assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        let mut row = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
         self
+    }
+
+    /// Appends a row, rejecting a column-count mismatch instead of
+    /// panicking or padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RowError`] when the cell count does not match the
+    /// header count; the table is left unchanged.
+    pub fn try_row(&mut self, cells: &[String]) -> Result<&mut Self, RowError> {
+        if cells.len() != self.headers.len() {
+            return Err(RowError {
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
+        self.rows.push(cells.to_vec());
+        Ok(self)
     }
 
     /// Number of data rows.
@@ -83,6 +110,27 @@ impl Table {
     }
 }
 
+/// A [`Table::try_row`] cell count that does not match the headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowError {
+    /// Header (column) count of the table.
+    pub expected: usize,
+    /// Cell count of the rejected row.
+    pub got: usize,
+}
+
+impl std::fmt::Display for RowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "table row has {} cells, expected {}",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for RowError {}
+
 /// Formats a float with the given decimals.
 pub fn fmt(v: f64, decimals: usize) -> String {
     format!("{v:.decimals$}")
@@ -127,9 +175,27 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "column count mismatch")]
-    fn row_width_checked() {
+    fn row_width_checked_in_debug() {
         Table::new("t", &["a", "b"]).row(&["x".to_string()]);
+    }
+
+    #[test]
+    fn try_row_rejects_mismatch_and_keeps_table_intact() {
+        let mut t = Table::new("t", &["a", "b"]);
+        let err = t.try_row(&["x".to_string()]).unwrap_err();
+        assert_eq!(
+            err,
+            RowError {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(err.to_string(), "table row has 1 cells, expected 2");
+        assert!(t.is_empty());
+        t.try_row(&["x".to_string(), "y".to_string()]).unwrap();
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -56,7 +56,9 @@ use crate::experiment::MeasureError;
 use crate::journal::{
     decode_outcome, encode_outcome, plan_meta, read_journal, JournalEntry, JournalWriter,
 };
+use crate::telemetry::{split_telem, CampaignObserver, CellTelemetry};
 use redvolt_dpu::runtime::RunError;
+use redvolt_telemetry::SpanRing;
 use std::fmt;
 use std::io;
 use std::panic::{self, AssertUnwindSafe};
@@ -176,7 +178,7 @@ fn is_retryable(err: &MeasureError) -> bool {
 
 /// What one watchdogged attempt produced.
 enum Attempt {
-    Done(Result<CellOutcome, MeasureError>),
+    Done(Result<CellOutcome, MeasureError>, CellTelemetry),
     Panicked(String),
     DeadlineExceeded,
 }
@@ -195,7 +197,7 @@ fn run_attempt(spec: &CellSpec, wall_cap: Duration, cycle_budget: Option<u64>) -
         let _ = tx.send(result);
     });
     match rx.recv_timeout(wall_cap) {
-        Ok(Ok(result)) => Attempt::Done(result),
+        Ok(Ok((result, telemetry))) => Attempt::Done(result, telemetry),
         Ok(Err(payload)) => Attempt::Panicked(panic_message(payload.as_ref())),
         Err(mpsc::RecvTimeoutError::Timeout) => Attempt::DeadlineExceeded,
         Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -216,17 +218,66 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Per-cell telemetry accumulator: folds attempt telemetry into a cell
+/// total, wrapping each attempt's spans in an `attempt` span and
+/// prefix-summing simulated-cycle offsets so the merged stream reads as
+/// one timeline per cell.
+struct CellFold {
+    total: CellTelemetry,
+    ring: SpanRing,
+    cycle_base: u64,
+}
+
+impl CellFold {
+    fn new() -> Self {
+        CellFold {
+            total: CellTelemetry::default(),
+            ring: SpanRing::new(),
+            cycle_base: 0,
+        }
+    }
+
+    fn fold(&mut self, attempt_no: u32, telemetry: &CellTelemetry) {
+        let span = self.ring.begin("attempt", None, self.cycle_base);
+        self.ring.attr(span, "n", &attempt_no.to_string());
+        self.ring
+            .absorb_records(&telemetry.spans, Some(span), self.cycle_base);
+        self.ring.end(span, self.cycle_base + telemetry.cycles);
+        self.cycle_base += telemetry.cycles;
+        self.total.merge_attempt(telemetry);
+    }
+
+    /// The supervisor's reboot-between-attempts is the simulation's power
+    /// cycle; count it like the paper's operators counted theirs.
+    fn power_cycle(&mut self) {
+        self.total.power_cycles += 1;
+    }
+
+    fn finish(mut self) -> CellTelemetry {
+        self.total.spans = self.ring.take();
+        self.total
+    }
+}
+
 /// Drives one cell to a final outcome, retrying per `config`. Returns the
-/// outcome and the number of attempts consumed. Cause strings are
-/// deterministic (no timing, no addresses), so aborted outcomes serialize
-/// identically across runs.
-fn supervise_cell(spec: &CellSpec, config: &SupervisorConfig) -> (CellOutcome, u32) {
+/// outcome, the number of attempts consumed, and the cell's aggregated
+/// telemetry (attempt counters summed, gauges from the final attempt,
+/// spans wrapped per attempt). Cause strings are deterministic (no
+/// timing, no addresses), so aborted outcomes serialize identically
+/// across runs.
+fn supervise_cell(spec: &CellSpec, config: &SupervisorConfig) -> (CellOutcome, u32, CellTelemetry) {
     let max_attempts = config.max_attempts.max(1);
+    let mut fold = CellFold::new();
     for attempt in 1..=max_attempts {
         match run_attempt(spec, config.wall_cap, config.cycle_budget) {
-            Attempt::Done(Ok(outcome)) => return (outcome, attempt),
-            Attempt::Done(Err(err)) => {
+            Attempt::Done(Ok(outcome), telemetry) => {
+                fold.fold(attempt, &telemetry);
+                return (outcome, attempt, fold.finish());
+            }
+            Attempt::Done(Err(err), telemetry) => {
+                fold.fold(attempt, &telemetry);
                 if is_retryable(&err) && attempt < max_attempts {
+                    fold.power_cycle();
                     continue; // fresh bring-up = power cycle
                 }
                 let cause = if is_retryable(&err) {
@@ -234,20 +285,24 @@ fn supervise_cell(spec: &CellSpec, config: &SupervisorConfig) -> (CellOutcome, u
                 } else {
                     format!("{err}")
                 };
-                return (CellOutcome::Aborted { cause }, attempt);
+                return (CellOutcome::Aborted { cause }, attempt, fold.finish());
             }
             Attempt::Panicked(msg) => {
                 // Panics are deterministic bugs, not operational flakes:
-                // retrying reproduces them, so abort immediately.
+                // retrying reproduces them, so abort immediately. The
+                // attempt's telemetry died with the unwound thread.
                 return (
                     CellOutcome::Aborted {
                         cause: format!("panic: {msg}"),
                     },
                     attempt,
+                    fold.finish(),
                 );
             }
             Attempt::DeadlineExceeded => {
+                // The reaped thread kept its accelerator — nothing to fold.
                 if attempt < max_attempts {
+                    fold.power_cycle();
                     continue;
                 }
                 return (
@@ -255,6 +310,7 @@ fn supervise_cell(spec: &CellSpec, config: &SupervisorConfig) -> (CellOutcome, u
                         cause: "watchdog: wall-clock cap exceeded".to_string(),
                     },
                     attempt,
+                    fold.finish(),
                 );
             }
         }
@@ -279,6 +335,25 @@ pub fn run_supervised(
     jobs: usize,
     config: &SupervisorConfig,
     journal: Option<&JournalSpec>,
+) -> Result<SupervisedReport, SupervisorError> {
+    run_supervised_observed(plan, jobs, config, journal, None)
+}
+
+/// [`run_supervised`] with a progress observer. The observer is called
+/// once per freshly executed cell, from the worker that finished it, in
+/// completion order — it sees progress live but must never feed anything
+/// back into the deterministic payload (see
+/// [`CampaignObserver`]).
+///
+/// # Errors
+///
+/// See [`run_supervised`].
+pub fn run_supervised_observed(
+    plan: &CampaignPlan,
+    jobs: usize,
+    config: &SupervisorConfig,
+    journal: Option<&JournalSpec>,
+    observer: Option<&dyn CampaignObserver>,
 ) -> Result<SupervisedReport, SupervisorError> {
     let started = Instant::now();
     let meta = plan_meta(plan);
@@ -324,26 +399,37 @@ pub fn run_supervised(
             config: plan.cells()[index].config.with_seed(plan.cell_seed(index)),
             ..plan.cells()[index].clone()
         };
-        let (outcome, attempts) = supervise_cell(&spec, config);
+        let (outcome, attempts, telemetry) = supervise_cell(&spec, config);
         // Write-ahead: the cell is not "done" until its line is flushed.
+        // The scalar telemetry rides along as a space-free trailing token
+        // so a resumed campaign reports the same metrics.
         if let Some(w) = writer.lock().unwrap().as_mut() {
             let entry = JournalEntry {
                 index,
                 attempts,
-                payload: encode_outcome(&outcome),
+                payload: format!(
+                    "{} telem={}",
+                    encode_outcome(&outcome),
+                    telemetry.encode_compact()
+                ),
             };
             if let Err(e) = w.append(&entry) {
                 journal_err.lock().unwrap().get_or_insert(e);
             }
         }
-        CellResult {
+        let result = CellResult {
             index,
             spec,
             outcome,
             elapsed: cell_started.elapsed(),
             worker,
             attempts,
+            telemetry,
+        };
+        if let Some(obs) = observer {
+            obs.cell_completed(&result);
         }
+        result
     });
     if let Some(e) = journal_err.into_inner().unwrap() {
         return Err(SupervisorError::Journal(e));
@@ -353,7 +439,10 @@ pub fn run_supervised(
     let resumed_cells = journaled.len();
     let mut results: Vec<CellResult> = Vec::with_capacity(journaled.len() + fresh.len());
     for (&index, entry) in &journaled {
-        let outcome = decode_outcome(&entry.payload).ok_or_else(|| {
+        // Telemetry scalars round-trip through the journal; spans do not
+        // (the resume contract covers metrics, not span streams).
+        let (payload, telemetry) = split_telem(&entry.payload);
+        let outcome = decode_outcome(payload).ok_or_else(|| {
             SupervisorError::Journal(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("journal entry for cell {index} is malformed"),
@@ -369,6 +458,7 @@ pub fn run_supervised(
             elapsed: Duration::ZERO,
             worker: 0,
             attempts: entry.attempts,
+            telemetry: telemetry.unwrap_or_default(),
         });
     }
     results.extend(fresh);

@@ -1,0 +1,394 @@
+//! Campaign observability: per-cell collection, plan-order aggregation.
+//!
+//! The bridge between the campaign machinery in this crate and the
+//! generic `redvolt-telemetry` primitives. The layering is what keeps
+//! the determinism contract honest under parallelism:
+//!
+//! 1. Each cell attempt records into *its own* [`CellTelemetry`] (the
+//!    accelerator's counters plus a local span ring) — no cross-thread
+//!    shared state, so scheduling cannot interleave anything.
+//! 2. The supervisor folds attempts into one [`CellTelemetry`] per cell
+//!    (counters summed, gauges from the final attempt, spans wrapped in
+//!    `attempt` spans).
+//! 3. [`CampaignTelemetry::collect`] merges the per-cell telemetry **in
+//!    plan order** into one registry and span stream, prefix-summing
+//!    simulated-cycle offsets. The result is a pure function of
+//!    `(seed, plan)` — byte-identical across `--jobs 1/2/8` and reruns.
+//!
+//! Scalar per-cell telemetry is journaled alongside each outcome (see
+//! [`CellTelemetry::encode_compact`]), so a `--resume`d campaign reports
+//! the same final metrics as an uninterrupted one. Spans are not
+//! journaled: the resume contract covers metrics; full span-stream
+//! byte-identity holds for straight runs.
+
+use crate::executor::{CampaignReport, CellOutcome, CellResult};
+use crate::report::Table;
+use redvolt_pmbus::adapter::BusStats;
+use redvolt_telemetry::export::{export_jsonl, export_prometheus};
+use redvolt_telemetry::progress::ProgressReporter;
+use redvolt_telemetry::{Registry, SpanRecord, SpanRing};
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+/// Bucket bounds (simulated cycles) for the per-cell cycle-cost
+/// histogram.
+const CELL_CYCLE_BOUNDS: [f64; 5] = [1e6, 1e7, 1e8, 1e9, 1e10];
+
+/// Bucket bounds for the per-cell attempt-count histogram.
+const CELL_ATTEMPT_BOUNDS: [f64; 3] = [1.0, 2.0, 4.0];
+
+/// Telemetry of one campaign cell: deterministic counters and gauges from
+/// the seeded simulation, plus the cell's local span stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CellTelemetry {
+    /// Simulated DPU cycles the cell consumed (all attempts).
+    pub cycles: u64,
+    /// Transient faults the DPU observed (all attempts).
+    pub dpu_faults: u64,
+    /// PMBus fault-handling counters (all attempts).
+    pub bus: BusStats,
+    /// PMBus transactions issued (all attempts).
+    pub bus_transactions: u64,
+    /// Board power cycles, counting the supervisor's reboot-between-
+    /// attempts as one each (the paper's "requires a full power cycle").
+    pub power_cycles: u64,
+    /// Final commanded `VCCINT`, mV (0 when the cell never brought up).
+    pub vccint_mv: f64,
+    /// Final commanded `VCCBRAM`, mV.
+    pub vccbram_mv: f64,
+    /// Final junction temperature, °C.
+    pub junction_c: f64,
+    /// Cell-local spans (ids self-consistent within the cell; empty for
+    /// journal-rehydrated cells).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl CellTelemetry {
+    /// Folds one attempt into the cell total: counters sum, gauges take
+    /// the attempt's (last-write-wins) values. Spans are merged
+    /// separately by the supervisor so they can nest under `attempt`
+    /// spans.
+    pub fn merge_attempt(&mut self, attempt: &CellTelemetry) {
+        self.cycles += attempt.cycles;
+        self.dpu_faults += attempt.dpu_faults;
+        self.bus.accumulate(attempt.bus);
+        self.bus_transactions += attempt.bus_transactions;
+        self.power_cycles += attempt.power_cycles;
+        self.vccint_mv = attempt.vccint_mv;
+        self.vccbram_mv = attempt.vccbram_mv;
+        self.junction_c = attempt.junction_c;
+    }
+
+    /// Encodes the scalar telemetry as a single space-free token for the
+    /// campaign journal (spans are deliberately excluded). Floats use
+    /// `{:?}` shortest round-trip formatting, so
+    /// [`CellTelemetry::decode_compact`] reproduces the exact values and
+    /// a resumed campaign's metrics match an uninterrupted run's.
+    pub fn encode_compact(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{:?},{:?},{:?}",
+            self.cycles,
+            self.dpu_faults,
+            self.bus.retries,
+            self.bus.injected_faults,
+            self.bus.pec_failures,
+            self.bus.backoff.as_micros(),
+            self.bus.exhausted,
+            self.bus_transactions,
+            self.power_cycles,
+            self.vccint_mv,
+            self.vccbram_mv,
+            self.junction_c,
+        )
+    }
+
+    /// Decodes [`CellTelemetry::encode_compact`]; `None` on any
+    /// malformed blob (the caller treats the cell as telemetry-less).
+    pub fn decode_compact(blob: &str) -> Option<CellTelemetry> {
+        let f: Vec<&str> = blob.split(',').collect();
+        if f.len() != 12 {
+            return None;
+        }
+        Some(CellTelemetry {
+            cycles: f[0].parse().ok()?,
+            dpu_faults: f[1].parse().ok()?,
+            bus: BusStats {
+                retries: f[2].parse().ok()?,
+                injected_faults: f[3].parse().ok()?,
+                pec_failures: f[4].parse().ok()?,
+                backoff: Duration::from_micros(f[5].parse().ok()?),
+                exhausted: f[6].parse().ok()?,
+            },
+            bus_transactions: f[7].parse().ok()?,
+            power_cycles: f[8].parse().ok()?,
+            vccint_mv: f[9].parse().ok()?,
+            vccbram_mv: f[10].parse().ok()?,
+            junction_c: f[11].parse().ok()?,
+            spans: Vec::new(),
+        })
+    }
+}
+
+/// Splits a journal payload into the outcome payload proper and the
+/// appended telemetry token, if one is present and well-formed. Journals
+/// written before the telemetry layer (or whose blob fails to decode)
+/// yield `None`, keeping resume backward-compatible.
+pub fn split_telem(payload: &str) -> (&str, Option<CellTelemetry>) {
+    if let Some((rest, blob)) = payload.rsplit_once(" telem=") {
+        if let Some(t) = CellTelemetry::decode_compact(blob) {
+            return (rest, Some(t));
+        }
+    }
+    (payload, None)
+}
+
+/// Observer of supervised campaign progress. Implementations must be
+/// callable from any worker thread; calls arrive in completion order
+/// (which is scheduling-dependent), so observers must not feed anything
+/// back into the deterministic payload — they exist for progress
+/// reporting and live dashboards.
+pub trait CampaignObserver: Sync {
+    /// Called once per cell, after its final outcome is known (and
+    /// journaled, when a journal is attached).
+    fn cell_completed(&self, result: &CellResult);
+}
+
+impl CampaignObserver for ProgressReporter {
+    fn cell_completed(&self, result: &CellResult) {
+        self.cell_done(
+            matches!(result.outcome, CellOutcome::Aborted { .. }),
+            result.attempts.saturating_sub(1),
+            result.telemetry.cycles,
+        );
+    }
+}
+
+/// The merged, deterministic telemetry of one finished campaign.
+#[derive(Debug)]
+pub struct CampaignTelemetry {
+    /// Counters, gauges and histograms, aggregated in plan order.
+    pub registry: Registry,
+    /// The campaign → cell → attempt → bus/DPU span tree, cycle offsets
+    /// prefix-summed in plan order.
+    pub spans: SpanRing,
+}
+
+impl CampaignTelemetry {
+    /// Aggregates every cell's telemetry in plan order. The output is
+    /// identical for any worker count because the inputs are per-cell
+    /// values merged in a fixed order — scheduling never shows.
+    pub fn collect(report: &CampaignReport) -> CampaignTelemetry {
+        let registry = Registry::new();
+        let mut ring = SpanRing::new();
+
+        let cells = registry.counter("redvolt_cells_total", &[]);
+        let aborted = registry.counter("redvolt_cells_aborted_total", &[]);
+        let retried = registry.counter("redvolt_cells_retried_total", &[]);
+        let attempts = registry.counter("redvolt_attempts_total", &[]);
+        let cycles = registry.counter("redvolt_dpu_cycles_total", &[]);
+        let dpu_faults = registry.counter("redvolt_dpu_faults_total", &[]);
+        let bus_txn = registry.counter("redvolt_bus_transactions_total", &[]);
+        let bus_retries = registry.counter("redvolt_bus_retries_total", &[]);
+        let bus_injected = registry.counter("redvolt_bus_injected_faults_total", &[]);
+        let bus_pec = registry.counter("redvolt_bus_pec_failures_total", &[]);
+        let bus_exhausted = registry.counter("redvolt_bus_exhausted_total", &[]);
+        let bus_backoff = registry.counter("redvolt_bus_backoff_micros_total", &[]);
+        let power_cycles = registry.counter("redvolt_power_cycles_total", &[]);
+        let cell_cycles = registry.histogram("redvolt_cell_cycles", &[], &CELL_CYCLE_BOUNDS);
+        let cell_attempts = registry.histogram("redvolt_cell_attempts", &[], &CELL_ATTEMPT_BOUNDS);
+
+        let total_cycles: u64 = report.results.iter().map(|r| r.telemetry.cycles).sum();
+        let campaign = ring.begin("campaign", None, 0);
+        let mut base = 0u64;
+        for r in &report.results {
+            let t = &r.telemetry;
+            cells.inc();
+            if matches!(r.outcome, CellOutcome::Aborted { .. }) {
+                aborted.inc();
+            }
+            if r.attempts > 1 {
+                retried.inc();
+            }
+            attempts.add(u64::from(r.attempts));
+            cycles.add(t.cycles);
+            dpu_faults.add(t.dpu_faults);
+            bus_txn.add(t.bus_transactions);
+            bus_retries.add(t.bus.retries);
+            bus_injected.add(t.bus.injected_faults);
+            bus_pec.add(t.bus.pec_failures);
+            bus_exhausted.add(t.bus.exhausted);
+            bus_backoff.add(t.bus.backoff.as_micros() as u64);
+            power_cycles.add(t.power_cycles);
+            cell_cycles.observe(t.cycles as f64);
+            cell_attempts.observe(f64::from(r.attempts));
+
+            // Rail/temperature gauges per board: plan order makes the
+            // last cell touching a board the deterministic winner. Cells
+            // that never brought up (default telemetry) are skipped so
+            // they cannot zero a live gauge.
+            if t.vccint_mv > 0.0 {
+                let board = r.spec.config.board_sample.to_string();
+                registry
+                    .gauge("redvolt_rail_mv", &[("board", &board), ("rail", "vccint")])
+                    .set(t.vccint_mv);
+                registry
+                    .gauge("redvolt_rail_mv", &[("board", &board), ("rail", "vccbram")])
+                    .set(t.vccbram_mv);
+                registry
+                    .gauge("redvolt_temp_c", &[("board", &board)])
+                    .set(t.junction_c);
+            }
+
+            let cell_span = ring.begin("cell", None, base);
+            ring.attr(cell_span, "index", &r.index.to_string());
+            ring.attr(cell_span, "label", &r.spec.label());
+            ring.attr(cell_span, "attempts", &r.attempts.to_string());
+            ring.absorb_records(&t.spans, Some(cell_span), base);
+            ring.end(cell_span, base + t.cycles);
+            base += t.cycles;
+        }
+        ring.end(campaign, total_cycles);
+
+        CampaignTelemetry {
+            registry,
+            spans: ring,
+        }
+    }
+
+    /// The JSONL event stream (spans then metrics; see
+    /// `redvolt_telemetry::export::export_jsonl`).
+    pub fn to_jsonl(&self) -> String {
+        let spans: Vec<SpanRecord> = self.spans.spans().cloned().collect();
+        export_jsonl(&spans, &self.registry.samples())
+    }
+
+    /// The Prometheus text exposition of the metrics.
+    pub fn to_prometheus(&self) -> String {
+        export_prometheus(&self.registry.samples())
+    }
+
+    /// Writes [`CampaignTelemetry::to_jsonl`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Writes [`CampaignTelemetry::to_prometheus`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_prometheus(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_prometheus())
+    }
+
+    /// End-of-run summary of the headline counters — deterministic and
+    /// resume-invariant (built from journaled scalars only), so the
+    /// `repro` binary can print it on stdout.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new("Telemetry summary", &["Metric", "Total"]);
+        for sample in self.registry.samples() {
+            if let redvolt_telemetry::SampleValue::Counter(v) = sample.value {
+                t.row(&[sample.id.name.clone(), v.to_string()]);
+            }
+        }
+        t
+    }
+}
+
+/// The PMBus health summary the `repro` binary appends to its output —
+/// the `BusStats` that used to be dropped on the floor. Integer-only and
+/// journal-round-tripped, so straight and resumed runs print identical
+/// bytes.
+pub fn bus_stats_table(report: &CampaignReport) -> Table {
+    let mut bus = BusStats::default();
+    let mut transactions = 0u64;
+    for r in &report.results {
+        bus.accumulate(r.telemetry.bus);
+        transactions += r.telemetry.bus_transactions;
+    }
+    let mut t = Table::new("PMBus bus health", &["Metric", "Total"]);
+    t.row(&["transactions".to_string(), transactions.to_string()]);
+    t.row(&["retries".to_string(), bus.retries.to_string()]);
+    t.row(&[
+        "injected faults".to_string(),
+        bus.injected_faults.to_string(),
+    ]);
+    t.row(&["PEC failures".to_string(), bus.pec_failures.to_string()]);
+    t.row(&[
+        "retry budget exhausted".to_string(),
+        bus.exhausted.to_string(),
+    ]);
+    t.row(&[
+        "scheduled backoff (us)".to_string(),
+        bus.backoff.as_micros().to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_telem() -> CellTelemetry {
+        CellTelemetry {
+            cycles: 123_456_789,
+            dpu_faults: 42,
+            bus: BusStats {
+                retries: 7,
+                injected_faults: 9,
+                pec_failures: 2,
+                backoff: Duration::from_micros(350),
+                exhausted: 1,
+            },
+            bus_transactions: 512,
+            power_cycles: 3,
+            vccint_mv: 572.5,
+            vccbram_mv: 850.0,
+            junction_c: 41.25,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn compact_codec_round_trips() {
+        let t = sample_telem();
+        let blob = t.encode_compact();
+        assert!(!blob.contains(' '), "journal tokens must be space-free");
+        assert_eq!(CellTelemetry::decode_compact(&blob), Some(t));
+    }
+
+    #[test]
+    fn split_telem_recovers_payload_and_blob() {
+        let t = sample_telem();
+        let payload = format!("measure 850.0,333.0 telem={}", t.encode_compact());
+        let (rest, decoded) = split_telem(&payload);
+        assert_eq!(rest, "measure 850.0,333.0");
+        assert_eq!(decoded, Some(t));
+
+        // Pre-telemetry journals pass through untouched.
+        let legacy = "sweep - crashed_at=none";
+        assert_eq!(split_telem(legacy), (legacy, None));
+
+        // A malformed blob is not stripped (treated as outcome text).
+        let bad = "aborted something telem=notnumbers";
+        assert_eq!(split_telem(bad), (bad, None));
+    }
+
+    #[test]
+    fn merge_attempt_sums_counters_keeps_last_gauges() {
+        let mut total = CellTelemetry::default();
+        let mut a1 = sample_telem();
+        a1.vccint_mv = 600.0;
+        let a2 = sample_telem();
+        total.merge_attempt(&a1);
+        total.merge_attempt(&a2);
+        assert_eq!(total.cycles, 2 * 123_456_789);
+        assert_eq!(total.bus.retries, 14);
+        assert_eq!(total.vccint_mv, 572.5, "gauge from the final attempt");
+    }
+}

@@ -184,6 +184,7 @@ pub struct DpuRuntime {
     cores: usize,
     cycles_run: u64,
     cycle_budget: Option<u64>,
+    faults_observed: u64,
 }
 
 impl DpuRuntime {
@@ -196,6 +197,7 @@ impl DpuRuntime {
             cores: DEFAULT_CORES,
             cycles_run: 0,
             cycle_budget: None,
+            faults_observed: 0,
         }
     }
 
@@ -211,6 +213,14 @@ impl DpuRuntime {
     /// Cumulative DPU cycles executed by this runtime.
     pub fn cycles_run(&self) -> u64 {
         self.cycles_run
+    }
+
+    /// Cumulative transient faults observed across every batch this
+    /// runtime has executed (including mitigated retries). Telemetry's
+    /// fault-rate counters read this rather than re-summing per-batch
+    /// results.
+    pub fn faults_observed(&self) -> u64 {
+        self.faults_observed
     }
 
     /// Charges `cycles` against the budget, failing once it is exceeded.
@@ -298,6 +308,7 @@ impl DpuRuntime {
                 let mut injector =
                     board_injector(&self.board, seed ^ ((i as u64) << 20) ^ u64::from(attempt));
                 let pred = task.qgraph.predict_with(img, &mut injector)?;
+                self.faults_observed += injector.event_count();
                 if injector.event_count() == 0 || attempt >= max_retries {
                     if injector.event_count() > 0 {
                         unresolved += 1;
@@ -355,6 +366,7 @@ impl DpuRuntime {
             self.charge_cycles(task.kernel.total_cycles())?;
             predictions.push(task.qgraph.predict_with(img, &mut injector)?);
         }
+        self.faults_observed += injector.injected_count();
         Ok(BatchResult {
             predictions,
             timing,

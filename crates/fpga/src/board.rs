@@ -34,6 +34,25 @@ const VOUT_MODE_EXP: i8 = -12;
 /// negligible, which this magnitude reproduces.
 const TELEMETRY_NOISE_SIGMA: f64 = 0.003;
 
+/// A point-in-time telemetry reading of one board, produced by
+/// [`Zcu102Board::snapshot`] for the observability layer's rail and
+/// temperature gauges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoardSnapshot {
+    /// Commanded `VCCINT` in mV.
+    pub vccint_mv: f64,
+    /// Commanded `VCCBRAM` in mV.
+    pub vccbram_mv: f64,
+    /// Steady-state junction temperature, °C.
+    pub junction_c: f64,
+    /// Exact (noise-free) on-chip power, watts.
+    pub on_chip_power_w: f64,
+    /// Whether the board is hung.
+    pub crashed: bool,
+    /// Power cycles so far.
+    pub power_cycles: u64,
+}
+
 /// A simulated ZCU102 board sample.
 #[derive(Debug, Clone)]
 pub struct Zcu102Board {
@@ -173,6 +192,20 @@ impl Zcu102Board {
     /// reboot bookkeeping ("requires a full power cycle to recover").
     pub fn power_cycles(&self) -> u64 {
         self.power_cycles
+    }
+
+    /// One coherent telemetry reading of the board's operating point.
+    /// Everything here derives from commanded state and the seeded
+    /// models, so snapshots are reproducible across runs.
+    pub fn snapshot(&self) -> BoardSnapshot {
+        BoardSnapshot {
+            vccint_mv: self.vccint_mv,
+            vccbram_mv: self.vccbram_mv,
+            junction_c: self.junction_c(),
+            on_chip_power_w: self.on_chip_power_w(),
+            crashed: self.crashed,
+            power_cycles: self.power_cycles,
+        }
     }
 
     fn evaluate_crash(&mut self) {

@@ -256,6 +256,19 @@ pub struct BusStats {
     pub exhausted: u64,
 }
 
+impl BusStats {
+    /// Adds another adapter's counters into this one. Campaign telemetry
+    /// folds per-cell stats together in plan order with this, so the
+    /// totals are independent of which worker ran which cell.
+    pub fn accumulate(&mut self, other: BusStats) {
+        self.retries += other.retries;
+        self.injected_faults += other.injected_faults;
+        self.pec_failures += other.pec_failures;
+        self.backoff = self.backoff.saturating_add(other.backoff);
+        self.exhausted += other.exhausted;
+    }
+}
+
 /// Typed host adapter with a bounded transaction log and a retry policy.
 ///
 /// # Examples
@@ -792,5 +805,33 @@ mod tests {
         // VOUT_MODE read + write + verification readback.
         assert_eq!(host.log().total(), 3);
         assert!((reg.vout() - 0.6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bus_stats_accumulate_sums_fieldwise() {
+        let mut total = BusStats {
+            retries: 1,
+            injected_faults: 2,
+            pec_failures: 3,
+            backoff: Duration::from_micros(10),
+            exhausted: 0,
+        };
+        total.accumulate(BusStats {
+            retries: 4,
+            injected_faults: 5,
+            pec_failures: 6,
+            backoff: Duration::from_micros(40),
+            exhausted: 1,
+        });
+        assert_eq!(
+            total,
+            BusStats {
+                retries: 5,
+                injected_faults: 7,
+                pec_failures: 9,
+                backoff: Duration::from_micros(50),
+                exhausted: 1,
+            }
+        );
     }
 }

@@ -1,0 +1,183 @@
+//! Live campaign progress reporting.
+//!
+//! The one deliberately wall-clock component of the crate: a
+//! [`ProgressReporter`] counts cells as they finish and periodically
+//! writes a status line to **stderr** — which the determinism contract
+//! explicitly excludes (timing already goes there). The science payload
+//! on stdout and in `--metrics-out`/`--prom-out` files is untouched.
+//!
+//! The ETA comes from *simulated cycle* costs of completed cells scaled
+//! by the observed wall-clock cycle rate: with `c` cycles retired in `t`
+//! seconds and `r` cells remaining at a mean cost of `c/done` cycles,
+//! `eta ≈ r · (c/done) / (c/t)`. This self-corrects as slow sweep cells
+//! and cheap measure cells mix.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ProgressState {
+    done: usize,
+    aborted: usize,
+    retried: usize,
+    cycles_done: u64,
+}
+
+/// Periodic campaign progress lines on stderr.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    total_cells: usize,
+    interval: Duration,
+    started: Instant,
+    state: Mutex<(ProgressState, Option<Instant>)>,
+}
+
+impl ProgressReporter {
+    /// A reporter for `total_cells` cells emitting at most once per
+    /// `interval` (an interval of zero emits on every completed cell).
+    pub fn new(total_cells: usize, interval: Duration) -> Self {
+        ProgressReporter {
+            total_cells,
+            interval,
+            started: Instant::now(),
+            // No last-emit time yet, so the first completed cell always
+            // produces a line.
+            state: Mutex::new((ProgressState::default(), None)),
+        }
+    }
+
+    /// Records one finished cell and emits a progress line if the
+    /// reporting interval has elapsed.
+    ///
+    /// `aborted` marks cells whose outcome is `Aborted`; `retries` is the
+    /// number of extra supervised attempts the cell needed; `cycles` is
+    /// its simulated-cycle cost.
+    pub fn cell_done(&self, aborted: bool, retries: u32, cycles: u64) {
+        let line = {
+            let mut guard = self.state.lock().expect("progress lock");
+            let (state, last_emit) = &mut *guard;
+            state.done += 1;
+            if aborted {
+                state.aborted += 1;
+            }
+            if retries > 0 {
+                state.retried += 1;
+            }
+            state.cycles_done += cycles;
+            let now = Instant::now();
+            let due = match *last_emit {
+                None => true,
+                Some(at) => now.duration_since(at) >= self.interval,
+            };
+            if due {
+                *last_emit = Some(now);
+                Some(self.render(*state, now.duration_since(self.started)))
+            } else {
+                None
+            }
+        };
+        if let Some(line) = line {
+            eprintln!("{line}");
+        }
+    }
+
+    /// Emits the final summary line unconditionally.
+    pub fn finish(&self) {
+        let guard = self.state.lock().expect("progress lock");
+        let (state, _) = *guard;
+        drop(guard);
+        eprintln!("{}", self.render(state, self.started.elapsed()));
+    }
+
+    /// Renders one status line from a state snapshot; pure so tests can
+    /// pin the format without racing the wall clock.
+    fn render(&self, state: ProgressState, elapsed: Duration) -> String {
+        let mut line = format!(
+            "[progress] {}/{} cells done ({} aborted, {} retried) in {:.1}s",
+            state.done,
+            self.total_cells,
+            state.aborted,
+            state.retried,
+            elapsed.as_secs_f64(),
+        );
+        if let Some(eta) = eta_secs(state, self.total_cells, elapsed) {
+            line.push_str(&format!(", eta {:.0}s", eta));
+        }
+        line
+    }
+}
+
+/// ETA in seconds from completed-cell cycle costs, or `None` before any
+/// cell has finished (or once the campaign is done).
+fn eta_secs(state: ProgressState, total_cells: usize, elapsed: Duration) -> Option<f64> {
+    let remaining = total_cells.checked_sub(state.done)?;
+    if remaining == 0 || state.done == 0 || state.cycles_done == 0 {
+        return None;
+    }
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return None;
+    }
+    let mean_cycles = state.cycles_done as f64 / state.done as f64;
+    let cycles_per_sec = state.cycles_done as f64 / secs;
+    Some(remaining as f64 * mean_cycles / cycles_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_scales_with_remaining_cells() {
+        let state = ProgressState {
+            done: 4,
+            aborted: 0,
+            retried: 0,
+            cycles_done: 4_000,
+        };
+        // 4 cells in 8s at 500 cycles/s mean 1000 cycles each ⇒ each
+        // remaining cell costs 2s; 6 remain ⇒ 12s.
+        let eta = eta_secs(state, 10, Duration::from_secs(8)).unwrap();
+        assert!((eta - 12.0).abs() < 1e-9, "eta = {eta}");
+    }
+
+    #[test]
+    fn eta_absent_without_signal() {
+        let zero = ProgressState::default();
+        assert_eq!(eta_secs(zero, 10, Duration::from_secs(1)), None);
+        let done = ProgressState {
+            done: 10,
+            cycles_done: 100,
+            ..ProgressState::default()
+        };
+        assert_eq!(eta_secs(done, 10, Duration::from_secs(1)), None);
+    }
+
+    #[test]
+    fn render_pins_line_shape() {
+        let reporter = ProgressReporter::new(10, Duration::from_secs(5));
+        let state = ProgressState {
+            done: 4,
+            aborted: 1,
+            retried: 2,
+            cycles_done: 4_000,
+        };
+        let line = reporter.render(state, Duration::from_secs(8));
+        assert_eq!(
+            line,
+            "[progress] 4/10 cells done (1 aborted, 2 retried) in 8.0s, eta 12s"
+        );
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let reporter = ProgressReporter::new(3, Duration::from_secs(3600));
+        reporter.cell_done(false, 0, 100);
+        reporter.cell_done(true, 2, 200);
+        let (state, _) = *reporter.state.lock().unwrap();
+        assert_eq!(state.done, 2);
+        assert_eq!(state.aborted, 1);
+        assert_eq!(state.retried, 1);
+        assert_eq!(state.cycles_done, 300);
+    }
+}

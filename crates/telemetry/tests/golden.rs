@@ -1,0 +1,97 @@
+//! Golden-file tests for the JSONL and Prometheus exporters.
+//!
+//! The fixture mimics a tiny campaign's telemetry; the rendered bytes
+//! are pinned against files under `tests/golden/`. To regenerate after
+//! an intentional format change:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test -p redvolt-telemetry --test golden
+//! ```
+
+use redvolt_telemetry::export::{export_jsonl, export_prometheus};
+use redvolt_telemetry::{Registry, Sample, SpanRecord, SpanRing};
+use std::path::Path;
+
+fn fixture() -> (Vec<SpanRecord>, Vec<Sample>) {
+    let reg = Registry::new();
+    reg.counter("redvolt_attempts_total", &[("board", "0")])
+        .add(5);
+    reg.counter("redvolt_attempts_total", &[("board", "1")])
+        .add(4);
+    reg.counter("redvolt_bus_retries_total", &[]).add(7);
+    reg.counter("redvolt_watchdog_reaps_total", &[]).inc();
+    reg.gauge("redvolt_rail_mv", &[("rail", "vccint")])
+        .set(572.5);
+    reg.gauge("redvolt_rail_mv", &[("rail", "vccbram")])
+        .set(850.0);
+    reg.gauge("redvolt_temp_c", &[("board", "0")]).set(41.25);
+    let h = reg.histogram("redvolt_cell_cycles", &[], &[1e6, 1e7, 1e8]);
+    for cycles in [250_000.0, 3_000_000.0, 4_500_000.0, 90_000_000.0, 2e9] {
+        h.observe(cycles);
+    }
+
+    let mut cell = SpanRing::new();
+    let attempt = cell.begin("attempt", None, 0);
+    let run = cell.begin("dpu_run", None, 1_000);
+    cell.end(run, 2_400_000);
+    cell.end(attempt, 2_500_000);
+
+    let mut ring = SpanRing::new();
+    let campaign = ring.begin("campaign", None, 0);
+    let cell_span = ring.begin("cell", None, 0);
+    ring.attr(cell_span, "label", "vgg/b0");
+    ring.attr(cell_span, "index", "0");
+    ring.end(cell_span, 2_500_000);
+    ring.absorb(&cell, Some(cell_span), 0);
+    ring.end(campaign, 2_500_000);
+
+    (ring.take(), reg.samples())
+}
+
+fn check(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(actual, expected, "{name} drifted from its golden file");
+}
+
+#[test]
+fn jsonl_matches_golden() {
+    let (spans, samples) = fixture();
+    check("events.jsonl", &export_jsonl(&spans, &samples));
+}
+
+#[test]
+fn prometheus_matches_golden() {
+    let (_, samples) = fixture();
+    check("metrics.prom", &export_prometheus(&samples));
+}
+
+#[test]
+fn jsonl_lines_are_valid_json_objects() {
+    // Cheap structural check without a JSON parser: every line is a
+    // single object with balanced braces and no raw control characters.
+    let (spans, samples) = fixture();
+    for line in export_jsonl(&spans, &samples).lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        let depth: i64 = line
+            .chars()
+            .map(|c| match c {
+                '{' | '[' => 1,
+                '}' | ']' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(depth, 0, "unbalanced: {line}");
+        assert!(
+            line.chars().all(|c| c as u32 >= 0x20),
+            "control char: {line}"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the determinism contract at the data-structure
+//! level: metric contents must not depend on how work is sharded across
+//! worker threads.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use redvolt_telemetry::{Registry, SpanRing};
+use std::sync::Arc;
+
+proptest! {
+    /// Histogram bucket counts and sums are invariant across the number
+    /// of worker threads — the data-structure half of the `--jobs 1/2/8`
+    /// acceptance criterion (the campaign-level half lives in
+    /// `tests/telemetry.rs` at the workspace root).
+    #[test]
+    fn histogram_invariant_across_worker_counts(
+        raw in vec(0u32..2_000_000, 1..200),
+    ) {
+        let values: Vec<f64> = raw.iter().map(|&v| f64::from(v)).collect();
+        let bounds = [1e3, 1e4, 1e5, 1e6];
+
+        let reference = Registry::new();
+        let h = reference.histogram("cycles", &[], &bounds);
+        for v in &values {
+            h.observe(*v);
+        }
+        let expected = reference.samples();
+
+        for jobs in [1usize, 2, 8] {
+            let reg = Registry::new();
+            let h = reg.histogram("cycles", &[], &bounds);
+            std::thread::scope(|scope| {
+                for chunk in values.chunks(values.len().div_ceil(jobs)) {
+                    let h = Arc::clone(&h);
+                    scope.spawn(move || {
+                        for v in chunk {
+                            h.observe(*v);
+                        }
+                    });
+                }
+            });
+            prop_assert_eq!(&reg.samples(), &expected, "jobs={}", jobs);
+        }
+    }
+
+    /// Counters shard-merge exactly: splitting increments across per-cell
+    /// counters and summing in plan order equals one global counter.
+    #[test]
+    fn counters_shard_merge_exactly(per_cell in vec(0u64..10_000, 1..64)) {
+        let global = Registry::new();
+        let g = global.counter("retries_total", &[]);
+        for n in &per_cell {
+            g.add(*n);
+        }
+        let merged: u64 = per_cell.iter().sum();
+        prop_assert_eq!(g.get(), merged);
+    }
+
+    /// Absorbing per-cell span rings in plan order yields the same ids
+    /// and timestamps no matter how many rings the spans were recorded
+    /// through — the merge step cannot leak scheduling.
+    #[test]
+    fn span_absorb_is_schedule_independent(
+        durations in vec(1u64..1_000_000, 1..40),
+        split in 1usize..40,
+    ) {
+        let split = split.min(durations.len());
+
+        // One ring per "cell", absorbed in plan order with prefix-summed
+        // cycle bases.
+        let build = |groups: &[&[u64]]| {
+            let mut merged = SpanRing::new();
+            let mut base = 0u64;
+            for group in groups {
+                let mut local = SpanRing::new();
+                let mut cycle = 0u64;
+                for d in *group {
+                    let id = local.begin("dpu_run", None, cycle);
+                    cycle += d;
+                    local.end(id, cycle);
+                }
+                merged.absorb(&local, None, base);
+                base += cycle;
+            }
+            merged.take()
+        };
+
+        let one = build(&[&durations]);
+        let (a, b) = durations.split_at(split);
+        let two = if b.is_empty() {
+            build(&[a])
+        } else {
+            build(&[a, b])
+        };
+        prop_assert_eq!(one, two);
+    }
+}

@@ -17,6 +17,7 @@
 //! * [`nn`] — CNN inference, quantization, pruning, benchmark models.
 //! * [`faults`] — undervolting timing-fault models and bit-flip injection.
 //! * [`dpu`] — the B4096-style accelerator and DNNDK-like runtime.
+//! * [`telemetry`] — deterministic metrics, spans and progress reporting.
 //! * [`core`] — the paper's measurement campaigns as a library.
 //!
 //! # Quickstart
@@ -52,3 +53,4 @@ pub use redvolt_fpga as fpga;
 pub use redvolt_nn as nn;
 pub use redvolt_num as num;
 pub use redvolt_pmbus as pmbus;
+pub use redvolt_telemetry as telemetry;
