@@ -211,7 +211,7 @@ impl Accelerator {
     ///
     /// Returns [`MeasureError::Workload`] if preparation fails.
     pub fn bring_up(config: &AcceleratorConfig) -> Result<Self, MeasureError> {
-        let workload = Workload::prepare(WorkloadConfig {
+        let workload = crate::workload_cache::get_or_prepare(WorkloadConfig {
             benchmark: config.benchmark,
             bits: config.bits,
             scale: config.scale,

@@ -27,6 +27,9 @@
 //! * [`telemetry`] — the deterministic observability layer: per-cell
 //!   collection, plan-order aggregation into `redvolt-telemetry`
 //!   metrics/spans, exporter plumbing and live progress.
+//! * [`workload_cache`] — process-wide memoization of prepared
+//!   (quantized + calibrated) workloads keyed on the full
+//!   `WorkloadConfig`, with deterministic hit/miss counters.
 //!
 //! # Examples
 //!
@@ -66,3 +69,4 @@ pub mod supervisor;
 pub mod sweep;
 pub mod telemetry;
 pub mod tempexp;
+pub mod workload_cache;

@@ -149,7 +149,7 @@ pub struct Node {
 }
 
 /// Shape of a node output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Shape {
     /// Height.
     pub h: usize,
@@ -343,33 +343,79 @@ impl GraphBuilder {
     }
 
     /// Adds max pooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is degenerate or larger than the input (see
+    /// [`GraphBuilder::try_max_pool`] for the fallible form).
     pub fn max_pool(&mut self, name: &str, input: NodeId, k: usize, stride: usize) -> NodeId {
+        match self.try_max_pool(name, input, k, stride) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds max pooling, rejecting invalid windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ShapeMismatch`] if `k` or `stride` is zero,
+    /// or the window exceeds the input spatial size (which would
+    /// underflow the output-shape arithmetic).
+    pub fn try_max_pool(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        k: usize,
+        stride: usize,
+    ) -> Result<NodeId, GraphError> {
         let s = self.shape(input);
-        let h = (s.h - k) / stride + 1;
-        let w = (s.w - k) / stride + 1;
-        self.push(
+        let (h, w) = pool_out_hw(name, s, k, stride)?;
+        Ok(self.push(
             Node {
                 name: name.to_string(),
                 op: Op::MaxPool { k, stride },
                 inputs: vec![input],
             },
             Shape { h, w, c: s.c },
-        )
+        ))
     }
 
     /// Adds average pooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is degenerate or larger than the input (see
+    /// [`GraphBuilder::try_avg_pool`] for the fallible form).
     pub fn avg_pool(&mut self, name: &str, input: NodeId, k: usize, stride: usize) -> NodeId {
+        match self.try_avg_pool(name, input, k, stride) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds average pooling, rejecting invalid windows.
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphBuilder::try_max_pool`].
+    pub fn try_avg_pool(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        k: usize,
+        stride: usize,
+    ) -> Result<NodeId, GraphError> {
         let s = self.shape(input);
-        let h = (s.h - k) / stride + 1;
-        let w = (s.w - k) / stride + 1;
-        self.push(
+        let (h, w) = pool_out_hw(name, s, k, stride)?;
+        Ok(self.push(
             Node {
                 name: name.to_string(),
                 op: Op::AvgPool { k, stride },
                 inputs: vec![input],
             },
             Shape { h, w, c: s.c },
-        )
+        ))
     }
 
     /// Adds global average pooling.
@@ -501,6 +547,30 @@ impl GraphBuilder {
     }
 }
 
+/// Pooling output shape, validated so the `usize` subtraction can never
+/// underflow (the historical panic when a window exceeded the input
+/// spatial size).
+fn pool_out_hw(
+    name: &str,
+    s: Shape,
+    k: usize,
+    stride: usize,
+) -> Result<(usize, usize), GraphError> {
+    if k == 0 || stride == 0 {
+        return Err(GraphError::ShapeMismatch {
+            node: name.to_string(),
+            why: format!("pool needs k >= 1 and stride >= 1, got k={k} stride={stride}"),
+        });
+    }
+    if k > s.h || k > s.w {
+        return Err(GraphError::ShapeMismatch {
+            node: name.to_string(),
+            why: format!("pool window {k} exceeds input {}x{}", s.h, s.w),
+        });
+    }
+    Ok(((s.h - k) / stride + 1, (s.w - k) / stride + 1))
+}
+
 impl Graph {
     /// The nodes in topological order.
     pub fn nodes(&self) -> &[Node] {
@@ -567,6 +637,30 @@ impl Graph {
     /// Returns [`GraphError::BadImage`] if `image` does not match the
     /// declared input shape.
     pub fn forward_all(&self, image: &Tensor) -> Result<Vec<Tensor>, GraphError> {
+        let mut outs = Vec::new();
+        let mut scratch = crate::kernels::Scratch::new();
+        self.forward_all_into(image, &mut outs, &mut scratch)?;
+        Ok(outs)
+    }
+
+    /// Runs the float reference path into reusable per-node buffers.
+    ///
+    /// `outs` is resized to one tensor per node and each tensor's
+    /// allocation is reused across calls; `scratch` holds the kernels'
+    /// im2col panels. After the first call on a given graph, repeated
+    /// forward passes perform no heap allocation — the hot loop of the
+    /// quantizer's calibration pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BadImage`] if `image` does not match the
+    /// declared input shape.
+    pub fn forward_all_into(
+        &self,
+        image: &Tensor,
+        outs: &mut Vec<Tensor>,
+        scratch: &mut crate::kernels::Scratch,
+    ) -> Result<(), GraphError> {
         let in_shape = self.input_shape();
         if image.h() != in_shape.h || image.w() != in_shape.w || image.c() != in_shape.c {
             return Err(GraphError::BadImage {
@@ -581,45 +675,67 @@ impl Graph {
                 ),
             });
         }
-        let mut outs: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
+        outs.resize_with(self.nodes.len(), || Tensor::zeros(0, 0, 0));
         for (id, node) in self.nodes.iter().enumerate() {
-            let out = match &node.op {
-                Op::Input { .. } => image.clone(),
+            let shape = self.shapes[id];
+            // Inputs always precede consumers, so split the buffer list
+            // at `id`: everything before is readable, slot `id` writable.
+            let (before, rest) = outs.split_at_mut(id);
+            let out = &mut rest[0];
+            out.reset(shape.h, shape.w, shape.c);
+            match &node.op {
+                Op::Input { .. } => out.data_mut().copy_from_slice(image.data()),
                 Op::Conv {
                     params,
                     weights,
                     bias,
-                } => conv2d_f32(&outs[node.inputs[0]], params, weights, bias),
+                } => crate::kernels::conv2d_f32_into(
+                    &before[node.inputs[0]],
+                    params,
+                    weights,
+                    bias,
+                    scratch,
+                    out.data_mut(),
+                ),
                 Op::Dense {
                     out_len,
                     relu,
                     weights,
                     bias,
                     ..
-                } => dense_f32(&outs[node.inputs[0]], *out_len, *relu, weights, bias),
-                Op::MaxPool { k, stride } => max_pool(&outs[node.inputs[0]], *k, *stride),
-                Op::AvgPool { k, stride } => avg_pool(&outs[node.inputs[0]], *k, *stride),
-                Op::GlobalAvgPool => global_avg_pool(&outs[node.inputs[0]]),
+                } => crate::kernels::dense_f32_into(
+                    before[node.inputs[0]].data(),
+                    *out_len,
+                    *relu,
+                    weights,
+                    bias,
+                    out.data_mut(),
+                ),
+                Op::MaxPool { k, stride } => {
+                    max_pool_into(&before[node.inputs[0]], *k, *stride, out)
+                }
+                Op::AvgPool { k, stride } => {
+                    avg_pool_into(&before[node.inputs[0]], *k, *stride, out)
+                }
+                Op::GlobalAvgPool => global_avg_pool_into(&before[node.inputs[0]], out),
                 Op::BatchNorm {
                     gamma,
                     beta,
                     mean,
                     var,
                     eps,
-                } => batch_norm(&outs[node.inputs[0]], gamma, beta, mean, var, *eps),
-                Op::Add { relu } => add(&outs[node.inputs[0]], &outs[node.inputs[1]], *relu),
-                Op::Concat => concat(&node.inputs.iter().map(|&i| &outs[i]).collect::<Vec<_>>()),
-                Op::Softmax => softmax(&outs[node.inputs[0]]),
-            };
-            debug_assert_eq!(
-                (out.h(), out.w(), out.c()),
-                (self.shapes[id].h, self.shapes[id].w, self.shapes[id].c),
-                "shape inference mismatch at {}",
-                node.name
-            );
-            outs.push(out);
+                } => batch_norm_into(&before[node.inputs[0]], gamma, beta, mean, var, *eps, out),
+                Op::Add { relu } => {
+                    add_into(&before[node.inputs[0]], &before[node.inputs[1]], *relu, out)
+                }
+                Op::Concat => concat_into(
+                    &node.inputs.iter().map(|&i| &before[i]).collect::<Vec<_>>(),
+                    out,
+                ),
+                Op::Softmax => softmax_into(&before[node.inputs[0]], out),
+            }
         }
-        Ok(outs)
+        Ok(())
     }
 
     /// Runs the float reference path and returns the output tensor.
@@ -847,61 +963,8 @@ impl Graph {
     }
 }
 
-fn conv2d_f32(input: &Tensor, p: &ConvParams, weights: &[f32], bias: &[f32]) -> Tensor {
-    let (oh, ow) = p.out_hw(input.h(), input.w());
-    let mut out = Tensor::zeros(oh, ow, p.out_ch);
-    let (ih, iw, ic) = (input.h(), input.w(), input.c());
-    let data = input.data();
-    let k2ic = p.k * p.k * ic;
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let base_y = (oy * p.stride) as isize - p.pad as isize;
-            let base_x = (ox * p.stride) as isize - p.pad as isize;
-            #[allow(clippy::needless_range_loop)] // oc also strides the weight base
-            for oc in 0..p.out_ch {
-                let wbase = oc * k2ic;
-                let mut acc = bias[oc];
-                for ky in 0..p.k {
-                    let y = base_y + ky as isize;
-                    if y < 0 || y >= ih as isize {
-                        continue;
-                    }
-                    for kx in 0..p.k {
-                        let x = base_x + kx as isize;
-                        if x < 0 || x >= iw as isize {
-                            continue;
-                        }
-                        let in_off = ((y as usize) * iw + x as usize) * ic;
-                        let w_off = wbase + (ky * p.k + kx) * ic;
-                        let xs = &data[in_off..in_off + ic];
-                        let ws = &weights[w_off..w_off + ic];
-                        acc += xs.iter().zip(ws).map(|(a, b)| a * b).sum::<f32>();
-                    }
-                }
-                out.set(oy, ox, oc, if p.relu { acc.max(0.0) } else { acc });
-            }
-        }
-    }
-    out
-}
-
-fn dense_f32(input: &Tensor, out_len: usize, relu: bool, weights: &[f32], bias: &[f32]) -> Tensor {
-    let x = input.data();
-    let n = x.len();
-    let mut out = vec![0.0f32; out_len];
-    for (o, out_v) in out.iter_mut().enumerate() {
-        let ws = &weights[o * n..(o + 1) * n];
-        let mut acc = bias[o];
-        acc += x.iter().zip(ws).map(|(a, b)| a * b).sum::<f32>();
-        *out_v = if relu { acc.max(0.0) } else { acc };
-    }
-    Tensor::vector(out)
-}
-
-fn max_pool(input: &Tensor, k: usize, stride: usize) -> Tensor {
-    let oh = (input.h() - k) / stride + 1;
-    let ow = (input.w() - k) / stride + 1;
-    let mut out = Tensor::zeros(oh, ow, input.c());
+fn max_pool_into(input: &Tensor, k: usize, stride: usize, out: &mut Tensor) {
+    let (oh, ow) = (out.h(), out.w());
     for oy in 0..oh {
         for ox in 0..ow {
             for c in 0..input.c() {
@@ -915,14 +978,11 @@ fn max_pool(input: &Tensor, k: usize, stride: usize) -> Tensor {
             }
         }
     }
-    out
 }
 
-fn avg_pool(input: &Tensor, k: usize, stride: usize) -> Tensor {
-    let oh = (input.h() - k) / stride + 1;
-    let ow = (input.w() - k) / stride + 1;
+fn avg_pool_into(input: &Tensor, k: usize, stride: usize, out: &mut Tensor) {
+    let (oh, ow) = (out.h(), out.w());
     let norm = 1.0 / (k * k) as f32;
-    let mut out = Tensor::zeros(oh, ow, input.c());
     for oy in 0..oh {
         for ox in 0..ow {
             for c in 0..input.c() {
@@ -936,58 +996,51 @@ fn avg_pool(input: &Tensor, k: usize, stride: usize) -> Tensor {
             }
         }
     }
-    out
 }
 
-fn global_avg_pool(input: &Tensor) -> Tensor {
+fn global_avg_pool_into(input: &Tensor, out: &mut Tensor) {
     let n = (input.h() * input.w()) as f32;
-    let mut out = vec![0.0f32; input.c()];
+    let acc = out.data_mut();
     for y in 0..input.h() {
         for x in 0..input.w() {
-            for (c, acc) in out.iter_mut().enumerate() {
-                *acc += input.at(y, x, c);
+            for (c, a) in acc.iter_mut().enumerate() {
+                *a += input.at(y, x, c);
             }
         }
     }
-    for v in &mut out {
+    for v in acc {
         *v /= n;
     }
-    Tensor::vector(out)
 }
 
-fn batch_norm(
+fn batch_norm_into(
     input: &Tensor,
     gamma: &[f32],
     beta: &[f32],
     mean: &[f32],
     var: &[f32],
     eps: f32,
-) -> Tensor {
-    let mut out = input.clone();
+    out: &mut Tensor,
+) {
     let c = input.c();
-    for (i, v) in out.data_mut().iter_mut().enumerate() {
+    for (i, (v, &x)) in out.data_mut().iter_mut().zip(input.data()).enumerate() {
         let ch = i % c;
-        *v = gamma[ch] * (*v - mean[ch]) / (var[ch] + eps).sqrt() + beta[ch];
+        *v = gamma[ch] * (x - mean[ch]) / (var[ch] + eps).sqrt() + beta[ch];
     }
-    out
 }
 
-fn add(a: &Tensor, b: &Tensor, relu: bool) -> Tensor {
-    let mut out = a.clone();
-    for (o, &bv) in out.data_mut().iter_mut().zip(b.data()) {
-        *o += bv;
+fn add_into(a: &Tensor, b: &Tensor, relu: bool, out: &mut Tensor) {
+    for ((o, &av), &bv) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+        *o = av + bv;
         if relu {
             *o = o.max(0.0);
         }
     }
-    out
 }
 
-fn concat(inputs: &[&Tensor]) -> Tensor {
+fn concat_into(inputs: &[&Tensor], out: &mut Tensor) {
     let h = inputs[0].h();
     let w = inputs[0].w();
-    let c: usize = inputs.iter().map(|t| t.c()).sum();
-    let mut out = Tensor::zeros(h, w, c);
     for y in 0..h {
         for x in 0..w {
             let mut off = 0;
@@ -999,15 +1052,19 @@ fn concat(inputs: &[&Tensor]) -> Tensor {
             }
         }
     }
-    out
 }
 
-fn softmax(input: &Tensor) -> Tensor {
+fn softmax_into(input: &Tensor, out: &mut Tensor) {
     let x = input.data();
     let m = x.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-    let exps: Vec<f32> = x.iter().map(|&v| (v - m).exp()).collect();
+    let exps = out.data_mut();
+    for (e, &v) in exps.iter_mut().zip(x) {
+        *e = (v - m).exp();
+    }
     let sum: f32 = exps.iter().sum();
-    Tensor::vector(exps.into_iter().map(|e| e / sum).collect())
+    for e in exps {
+        *e /= sum;
+    }
 }
 
 #[cfg(test)]
@@ -1122,6 +1179,46 @@ mod tests {
         let a = b.avg_pool("ap", x, 2, 2);
         let g = b.finish(a);
         assert_eq!(g.forward(&img).unwrap().data(), &[2.75]);
+    }
+
+    /// Regression: a pooling window larger than the input used to
+    /// underflow the `usize` output-shape subtraction and panic inside
+    /// the builder. It now reports a structured error.
+    #[test]
+    fn oversized_pool_window_is_an_error_not_a_panic() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(2, 3, 1);
+        let err = b.try_max_pool("mp", x, 4, 1).unwrap_err();
+        assert!(
+            matches!(&err, GraphError::ShapeMismatch { node, .. } if node == "mp"),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("exceeds input 2x3"), "{err}");
+        // Same guard on the width-only overflow and on avg pooling.
+        assert!(b.try_max_pool("mp2", x, 3, 1).is_err(), "k > w only");
+        assert!(b.try_avg_pool("ap", x, 4, 2).is_err());
+        // A window of exactly the input size is the degenerate-but-valid
+        // boundary: 1x1 output.
+        let ok = b.try_max_pool("fit", x, 2, 1).unwrap();
+        assert_eq!(b.shape(ok), Shape { h: 1, w: 2, c: 1 });
+    }
+
+    #[test]
+    fn degenerate_pool_parameters_are_errors() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(4, 4, 1);
+        assert!(b.try_max_pool("k0", x, 0, 1).is_err());
+        assert!(b.try_max_pool("s0", x, 2, 0).is_err());
+        assert!(b.try_avg_pool("k0", x, 0, 1).is_err());
+        assert!(b.try_avg_pool("s0", x, 2, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool window 5 exceeds input 2x2")]
+    fn infallible_pool_builder_panics_with_the_error_message() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(2, 2, 1);
+        b.max_pool("mp", x, 5, 1);
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! * [`graph`] — the layer DAG (conv / pool / dense / batch-norm /
 //!   residual / inception-concat / softmax) and the float reference
 //!   executor.
+//! * [`kernels`] — the optimized im2col + blocked-GEMM conv/dense
+//!   kernels both executors run on, with a reusable [`kernels::Scratch`]
+//!   arena.
+//! * [`reference`] — the retained naive kernels: the semantic ground
+//!   truth the differential test suite diffs [`kernels`] against.
 //! * [`quant`] — DECENT-style symmetric INT8..INT4 post-training
 //!   quantization and the integer executor with transient-fault hooks
 //!   (this is the datapath the DPU simulator drives, and where
@@ -43,9 +48,11 @@
 
 pub mod dataset;
 pub mod graph;
+pub mod kernels;
 pub mod metrics;
 pub mod models;
 pub mod prune;
 pub mod quant;
+pub mod reference;
 pub mod tensor;
 pub mod train;

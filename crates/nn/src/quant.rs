@@ -13,6 +13,8 @@
 //! setup are timing errors on reads, not permanent storage corruption).
 
 use crate::graph::{ConvParams, Graph, GraphError, Op, Shape};
+use crate::kernels;
+use crate::reference;
 use crate::tensor::{QTensor, Tensor};
 use redvolt_num::fixed::{IntFormat, QuantScale};
 
@@ -81,6 +83,10 @@ enum QOp {
         /// symmetric quantization, which keeps narrow formats usable).
         wscales: Vec<f32>,
         bias_q: Vec<i32>,
+        /// Precomputed requantization factors
+        /// `input_scale · wscale / out_scale` — static after calibration,
+        /// so the executor never materializes them per inference.
+        rescales: Vec<f32>,
     },
     Dense {
         in_len: usize,
@@ -90,6 +96,8 @@ enum QOp {
         /// Per-output-unit weight scales.
         wscales: Vec<f32>,
         bias_q: Vec<i32>,
+        /// Precomputed requantization factors (see [`QOp::Conv`]).
+        rescales: Vec<f32>,
     },
     MaxPool {
         k: usize,
@@ -161,6 +169,27 @@ pub struct QuantizedGraph {
     output: usize,
     format: IntFormat,
     num_classes: usize,
+    /// Per-inference buffers, reused across calls (see [`ExecScratch`]).
+    scratch: ExecScratch,
+    /// When set, conv/dense run the naive [`reference`] kernels instead of
+    /// the optimized ones — the benchmark binary's baseline arm.
+    use_reference: bool,
+}
+
+/// The executor's buffer arena: activation tensors, raw accumulators and
+/// kernel panels, all sized on first use and reused afterwards so a
+/// warmed-up inference performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+struct ExecScratch {
+    kernels: kernels::Scratch,
+    acts: Vec<QTensor>,
+    acc: Vec<i32>,
+    /// Float staging buffer (softmax input, dequantized logits).
+    fbuf: Vec<f32>,
+    /// Float logits of the output node, valid after a forward pass.
+    final_float: Vec<f32>,
+    /// Shape of `final_float`.
+    final_shape: Shape,
 }
 
 impl QuantizedGraph {
@@ -201,10 +230,14 @@ impl QuantizedGraph {
         assert!(!calib_images.is_empty(), "need calibration images");
         let format = IntFormat::new(bits).expect("bits in 1..=8");
 
-        // Per-node activation ranges from the float reference path.
+        // Per-node activation ranges from the float reference path. The
+        // output buffers and kernel scratch are reused across calibration
+        // images — only the first image pays for allocation.
         let mut max_abs = vec![0.0f32; graph.nodes().len()];
+        let mut outs: Vec<Tensor> = Vec::new();
+        let mut calib_scratch = kernels::Scratch::new();
         for img in calib_images {
-            let outs = graph.forward_all(img)?;
+            graph.forward_all_into(img, &mut outs, &mut calib_scratch)?;
             for (m, t) in max_abs.iter_mut().zip(&outs) {
                 *m = m.max(t.max_abs());
             }
@@ -245,11 +278,17 @@ impl QuantizedGraph {
                         wscales.push(wscale);
                         bias_q.push((bias[oc] / (in_scale * wscale)).round() as i32);
                     }
+                    let act_scale = runtime_scale_of(&nodes, node.inputs[0]);
+                    let rescales = wscales
+                        .iter()
+                        .map(|&ws| act_scale * ws / out_scale)
+                        .collect();
                     QOp::Conv {
                         params: *params,
                         wcodes,
                         wscales,
                         bias_q,
+                        rescales,
                     }
                 }
                 Op::Dense {
@@ -278,6 +317,11 @@ impl QuantizedGraph {
                         wscales.push(wscale);
                         bias_q.push((bias[o] / (in_scale * wscale)).round() as i32);
                     }
+                    let act_scale = runtime_scale_of(&nodes, node.inputs[0]);
+                    let rescales = wscales
+                        .iter()
+                        .map(|&ws| act_scale * ws / out_scale)
+                        .collect();
                     QOp::Dense {
                         in_len: *in_len,
                         out_len: *out_len,
@@ -285,6 +329,7 @@ impl QuantizedGraph {
                         wcodes,
                         wscales,
                         bias_q,
+                        rescales,
                     }
                 }
                 Op::MaxPool { k, stride } => QOp::MaxPool {
@@ -320,7 +365,22 @@ impl QuantizedGraph {
             output: graph.output_id(),
             format,
             num_classes: graph.num_classes(),
+            scratch: ExecScratch::default(),
+            use_reference: false,
         })
+    }
+
+    /// Switches conv/dense layers between the optimized [`kernels`] and
+    /// the naive [`reference`] implementations. Output is bit-identical
+    /// either way; the toggle exists so the benchmark binary can measure
+    /// the end-to-end speedup on the same graph.
+    pub fn set_reference_kernels(&mut self, on: bool) {
+        self.use_reference = on;
+    }
+
+    /// Whether the naive reference kernels are active.
+    pub fn reference_kernels(&self) -> bool {
+        self.use_reference
     }
 
     /// Operand precision in bits.
@@ -415,20 +475,37 @@ impl QuantizedGraph {
     ///
     /// Returns [`GraphError::BadImage`] on input-shape mismatch.
     pub fn predict(&mut self, image: &Tensor) -> Result<usize, GraphError> {
-        Ok(self.forward(image)?.argmax())
+        self.predict_with(image, &mut NoFaults)
     }
 
     /// Predicted class with a fault injector.
     ///
+    /// Runs entirely inside the executor's arena — after the first call,
+    /// prediction allocates nothing (the inner loop of every campaign
+    /// cell).
+    ///
     /// # Errors
     ///
     /// Returns [`GraphError::BadImage`] on input-shape mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph output is empty.
     pub fn predict_with(
         &mut self,
         image: &Tensor,
         injector: &mut dyn FaultInjector,
     ) -> Result<usize, GraphError> {
-        Ok(self.forward_with(image, injector)?.argmax())
+        self.run_internal(image, injector)?;
+        let logits = &self.scratch.final_float;
+        assert!(!logits.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in logits.iter().enumerate() {
+            if v > logits[best] {
+                best = i;
+            }
+        }
+        Ok(best)
     }
 
     /// Runs the quantized path with fault injection, returning float
@@ -442,7 +519,14 @@ impl QuantizedGraph {
         image: &Tensor,
         injector: &mut dyn FaultInjector,
     ) -> Result<Tensor, GraphError> {
-        self.forward_capture(image, injector).map(|(out, _)| out)
+        self.run_internal(image, injector)?;
+        let s = self.scratch.final_shape;
+        Ok(Tensor::from_vec(
+            s.h,
+            s.w,
+            s.c,
+            self.scratch.final_float.clone(),
+        ))
     }
 
     /// Index of the final dense (readout) layer.
@@ -462,8 +546,8 @@ impl QuantizedGraph {
     pub fn readout_features(&mut self, image: &Tensor) -> Result<Vec<f32>, GraphError> {
         let readout = self.readout_id();
         let src = self.nodes[readout].inputs[0];
-        let (_, acts) = self.forward_capture(image, &mut NoFaults)?;
-        Ok(acts[src].dequantize().data().to_vec())
+        self.run_internal(image, &mut NoFaults)?;
+        Ok(self.scratch.acts[src].dequantize().data().to_vec())
     }
 
     /// Refits the readout layer on labelled images using the *quantized*
@@ -554,14 +638,30 @@ impl QuantizedGraph {
         if max_abs > 0.0 {
             self.nodes[readout].out_scale = max_abs / self.format.max_value() as f32;
         }
+        // The readout's precomputed requantization factors depend on its
+        // weight scales and output scale, both just rewritten — refresh.
+        let act_scale = runtime_scale_of(&self.nodes, self.nodes[readout].inputs[0]);
+        let out_scale = self.nodes[readout].out_scale;
+        let QOp::Dense {
+            wscales, rescales, ..
+        } = &mut self.nodes[readout].op
+        else {
+            unreachable!("readout is dense");
+        };
+        for (r, &ws) in rescales.iter_mut().zip(wscales.iter()) {
+            *r = act_scale * ws / out_scale;
+        }
         Ok(())
     }
 
-    fn forward_capture(
+    /// Executes the graph into the scratch arena: `scratch.acts[id]` holds
+    /// every node's activation and `scratch.final_float` the output node's
+    /// float logits. No allocation once the arena is warm.
+    fn run_internal(
         &mut self,
         image: &Tensor,
         injector: &mut dyn FaultInjector,
-    ) -> Result<(Tensor, Vec<QTensor>), GraphError> {
+    ) -> Result<(), GraphError> {
         let in_shape = self.nodes[self.input].shape;
         if image.h() != in_shape.h || image.w() != in_shape.w || image.c() != in_shape.c {
             return Err(GraphError::BadImage {
@@ -577,96 +677,151 @@ impl QuantizedGraph {
             });
         }
         let format = self.format;
-        let mut acts: Vec<QTensor> = Vec::with_capacity(self.nodes.len());
-        let mut final_float: Option<Tensor> = None;
-        for id in 0..self.nodes.len() {
-            // Split the borrow: clone light metadata, mutate weights in place.
-            let (inputs, shape, out_scale, name) = {
-                let n = &self.nodes[id];
-                (n.inputs.clone(), n.shape, n.out_scale, n.name.clone())
-            };
-            let out = match &mut self.nodes[id].op {
-                QOp::Input => quantize_image(image, out_scale, format),
+        let output_id = self.output;
+        let use_reference = self.use_reference;
+        let QuantizedGraph { nodes, scratch, .. } = self;
+        let ExecScratch {
+            kernels: ks,
+            acts,
+            acc,
+            fbuf,
+            final_float,
+            final_shape,
+        } = scratch;
+        acts.resize_with(nodes.len(), || QTensor::zeros(0, 0, 0, 1.0));
+        let mut softmax_output = false;
+        // An index loop, not an iterator: `id` is also the split point of
+        // the activation list (`split_at_mut` below), which an enumerated
+        // mutable borrow of `nodes` could not express.
+        #[allow(clippy::needless_range_loop)]
+        for id in 0..nodes.len() {
+            // Split the borrows field-wise: the op is mutated in place
+            // (transient weight faults), the rest is read-only, and the
+            // activation list splits at `id` — inputs always precede.
+            let node = &mut nodes[id];
+            let name = node.name.as_str();
+            let inputs = &node.inputs;
+            let shape = node.shape;
+            let out_scale = node.out_scale;
+            let (before, rest) = acts.split_at_mut(id);
+            let out = &mut rest[0];
+            match &mut node.op {
+                QOp::Input => quantize_image_into(image, out_scale, format, out),
                 QOp::Conv {
                     params,
                     wcodes,
-                    wscales,
                     bias_q,
+                    rescales,
+                    ..
                 } => {
-                    let reverts = apply_weight_faults(injector, &name, wcodes, format);
-                    let input = &acts[inputs[0]];
+                    let reverts = apply_weight_faults(injector, name, wcodes, format);
+                    let input = &before[inputs[0]];
                     let macs_per_out = params.k * params.k * params.in_ch;
-                    let mut acc = conv2d_q(input, params, wcodes, bias_q);
+                    let (oh, ow) = params.out_hw(input.h(), input.w());
+                    acc.clear();
+                    if use_reference {
+                        acc.extend(reference::conv2d_q(input, params, wcodes, bias_q));
+                    } else {
+                        acc.resize(oh * ow * params.out_ch, 0);
+                        kernels::conv2d_q_into(input, params, wcodes, bias_q, ks, acc);
+                    }
                     revert_weights(wcodes, reverts);
-                    for f in injector.plan_accumulator_faults(&name, acc.len(), macs_per_out) {
+                    for f in injector.plan_accumulator_faults(name, acc.len(), macs_per_out) {
                         acc[f.index] ^= 1i32 << (f.bit % 31);
                     }
-                    let rescales: Vec<f32> = wscales
-                        .iter()
-                        .map(|&ws| input.scale * ws / out_scale)
-                        .collect();
-                    let mut out =
-                        requantize(&acc, shape, &rescales, out_scale, params.relu, format);
-                    for f in injector.plan_activation_faults(&name, out.codes.len(), format.bits())
-                    {
+                    requantize_into(acc, shape, rescales, out_scale, params.relu, format, out);
+                    for f in injector.plan_activation_faults(name, out.codes.len(), format.bits()) {
                         flip_code(&mut out.codes[f.index], f.bit, format);
                     }
-                    out
                 }
                 QOp::Dense {
                     in_len,
                     out_len,
                     relu,
                     wcodes,
-                    wscales,
                     bias_q,
+                    rescales,
+                    ..
                 } => {
-                    let reverts = apply_weight_faults(injector, &name, wcodes, format);
-                    let input = &acts[inputs[0]];
-                    let mut acc = dense_q(input, *in_len, *out_len, wcodes, bias_q);
+                    let reverts = apply_weight_faults(injector, name, wcodes, format);
+                    let input = &before[inputs[0]];
+                    acc.clear();
+                    if use_reference {
+                        acc.extend(reference::dense_q(input, *in_len, *out_len, wcodes, bias_q));
+                    } else {
+                        acc.resize(*out_len, 0);
+                        kernels::dense_q_into(input, *in_len, *out_len, wcodes, bias_q, acc);
+                    }
                     revert_weights(wcodes, reverts);
-                    for f in injector.plan_accumulator_faults(&name, acc.len(), *in_len) {
+                    for f in injector.plan_accumulator_faults(name, acc.len(), *in_len) {
                         acc[f.index] ^= 1i32 << (f.bit % 31);
                     }
-                    let rescales: Vec<f32> = wscales
-                        .iter()
-                        .map(|&ws| input.scale * ws / out_scale)
-                        .collect();
-                    let mut out = requantize(&acc, shape, &rescales, out_scale, *relu, format);
-                    for f in injector.plan_activation_faults(&name, out.codes.len(), format.bits())
-                    {
+                    requantize_into(acc, shape, rescales, out_scale, *relu, format, out);
+                    for f in injector.plan_activation_faults(name, out.codes.len(), format.bits()) {
                         flip_code(&mut out.codes[f.index], f.bit, format);
                     }
-                    out
                 }
-                QOp::MaxPool { k, stride } => max_pool_q(&acts[inputs[0]], *k, *stride),
+                QOp::MaxPool { k, stride } => max_pool_q_into(&before[inputs[0]], *k, *stride, out),
                 QOp::AvgPool { k, stride } => {
-                    avg_pool_q(&acts[inputs[0]], *k, *stride, out_scale, format)
+                    avg_pool_q_into(&before[inputs[0]], *k, *stride, out_scale, format, out)
                 }
-                QOp::GlobalAvgPool => global_avg_pool_q(&acts[inputs[0]], out_scale, format),
-                QOp::Add { relu } => {
-                    add_q(&acts[inputs[0]], &acts[inputs[1]], out_scale, *relu, format)
+                QOp::GlobalAvgPool => {
+                    global_avg_pool_q_into(&before[inputs[0]], out_scale, format, out)
                 }
-                QOp::Concat => concat_q(
-                    &inputs.iter().map(|&i| &acts[i]).collect::<Vec<_>>(),
-                    shape,
+                QOp::Add { relu } => add_q_into(
+                    &before[inputs[0]],
+                    &before[inputs[1]],
                     out_scale,
+                    *relu,
                     format,
+                    out,
                 ),
+                QOp::Concat => concat_q_into(inputs, before, shape, out_scale, format, out),
                 QOp::Softmax => {
-                    let logits = acts[inputs[0]].dequantize();
-                    let float = softmax_f(&logits);
-                    if id == self.output {
-                        final_float = Some(float.clone());
+                    // Dequantize the logits into the float staging buffer
+                    // and apply a numerically-stable softmax in place.
+                    let input = &before[inputs[0]];
+                    fbuf.clear();
+                    fbuf.extend(input.codes.iter().map(|&q| f32::from(q) * input.scale));
+                    let m = fbuf.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+                    for v in fbuf.iter_mut() {
+                        *v = (*v - m).exp();
+                    }
+                    let sum: f32 = fbuf.iter().sum();
+                    for v in fbuf.iter_mut() {
+                        *v /= sum;
+                    }
+                    if id == output_id {
+                        softmax_output = true;
+                        final_float.clear();
+                        final_float.extend(fbuf.iter());
+                        *final_shape = Shape {
+                            h: 1,
+                            w: 1,
+                            c: final_float.len(),
+                        };
                     }
                     // Store probabilities quantized on the out scale.
-                    quantize_image(&float, out_scale, format)
+                    out.reset(1, 1, fbuf.len(), out_scale);
+                    let hi = format.max_value() as f32;
+                    let lo = format.min_value() as f32;
+                    for (code, &v) in out.codes.iter_mut().zip(fbuf.iter()) {
+                        *code = (v / out_scale).round().clamp(lo, hi) as i8;
+                    }
                 }
-            };
-            acts.push(out);
+            }
         }
-        let out = final_float.unwrap_or_else(|| acts[self.output].dequantize());
-        Ok((out, acts))
+        if !softmax_output {
+            let out = &acts[output_id];
+            final_float.clear();
+            final_float.extend(out.codes.iter().map(|&q| f32::from(q) * out.scale));
+            *final_shape = Shape {
+                h: out.h(),
+                w: out.w(),
+                c: out.c(),
+            };
+        }
+        Ok(())
     }
 }
 
@@ -674,14 +829,25 @@ fn scale_of(nodes: &[QNode], id: usize) -> f32 {
     nodes[id].out_scale
 }
 
-fn quantize_image(image: &Tensor, scale: f32, format: IntFormat) -> QTensor {
-    let mut q = QTensor::zeros(image.h(), image.w(), image.c(), scale);
+/// Scale of the activation tensor node `id` produces at *runtime*. Equal
+/// to the node's calibrated `out_scale` everywhere except max-pool, which
+/// forwards its input's codes (and therefore its input's scale) verbatim.
+fn runtime_scale_of(nodes: &[QNode], mut id: usize) -> f32 {
+    loop {
+        match &nodes[id].op {
+            QOp::MaxPool { .. } => id = nodes[id].inputs[0],
+            _ => return nodes[id].out_scale,
+        }
+    }
+}
+
+fn quantize_image_into(image: &Tensor, scale: f32, format: IntFormat, out: &mut QTensor) {
+    out.reset(image.h(), image.w(), image.c(), scale);
     let hi = format.max_value() as f32;
     let lo = format.min_value() as f32;
-    for (code, &v) in q.codes.iter_mut().zip(image.data()) {
+    for (code, &v) in out.codes.iter_mut().zip(image.data()) {
         *code = (v / scale).round().clamp(lo, hi) as i8;
     }
-    q
 }
 
 fn apply_weight_faults(
@@ -713,81 +879,20 @@ fn flip_code(code: &mut i8, bit: u32, format: IntFormat) {
     *code = format.sign_extend(raw) as i8;
 }
 
-fn conv2d_q(input: &QTensor, p: &ConvParams, wcodes: &[i8], bias_q: &[i32]) -> Vec<i32> {
-    let (ih, iw, ic) = (input.h(), input.w(), input.c());
-    let (oh, ow) = p.out_hw(ih, iw);
-    let mut acc = vec![0i32; oh * ow * p.out_ch];
-    let k2ic = p.k * p.k * ic;
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let base_y = (oy * p.stride) as isize - p.pad as isize;
-            let base_x = (ox * p.stride) as isize - p.pad as isize;
-            let out_off = (oy * ow + ox) * p.out_ch;
-            for oc in 0..p.out_ch {
-                let wbase = oc * k2ic;
-                let mut sum = bias_q[oc];
-                for ky in 0..p.k {
-                    let y = base_y + ky as isize;
-                    if y < 0 || y >= ih as isize {
-                        continue;
-                    }
-                    for kx in 0..p.k {
-                        let x = base_x + kx as isize;
-                        if x < 0 || x >= iw as isize {
-                            continue;
-                        }
-                        let in_off = ((y as usize) * iw + x as usize) * ic;
-                        let w_off = wbase + (ky * p.k + kx) * ic;
-                        let xs = &input.codes[in_off..in_off + ic];
-                        let ws = &wcodes[w_off..w_off + ic];
-                        sum += xs
-                            .iter()
-                            .zip(ws)
-                            .map(|(&a, &b)| i32::from(a) * i32::from(b))
-                            .sum::<i32>();
-                    }
-                }
-                acc[out_off + oc] = sum;
-            }
-        }
-    }
-    acc
-}
-
-fn dense_q(
-    input: &QTensor,
-    in_len: usize,
-    out_len: usize,
-    wcodes: &[i8],
-    bias_q: &[i32],
-) -> Vec<i32> {
-    debug_assert_eq!(input.codes.len(), in_len);
-    let mut acc = vec![0i32; out_len];
-    for (o, a) in acc.iter_mut().enumerate() {
-        let ws = &wcodes[o * in_len..(o + 1) * in_len];
-        *a = bias_q[o]
-            + input
-                .codes
-                .iter()
-                .zip(ws)
-                .map(|(&x, &w)| i32::from(x) * i32::from(w))
-                .sum::<i32>();
-    }
-    acc
-}
-
 /// Requantizes accumulators to the output scale with per-channel rescale
 /// factors (HWC layout: channel = index % c).
-fn requantize(
+#[allow(clippy::too_many_arguments)]
+fn requantize_into(
     acc: &[i32],
     shape: Shape,
     rescales: &[f32],
     out_scale: f32,
     relu: bool,
     format: IntFormat,
-) -> QTensor {
+    out: &mut QTensor,
+) {
     debug_assert_eq!(rescales.len(), shape.c);
-    let mut out = QTensor::zeros(shape.h, shape.w, shape.c, out_scale);
+    out.reset(shape.h, shape.w, shape.c, out_scale);
     let hi = format.max_value() as f32;
     let lo = format.min_value() as f32;
     let c = shape.c;
@@ -798,14 +903,13 @@ fn requantize(
         }
         *code = v.round().clamp(lo, hi) as i8;
     }
-    out
 }
 
-fn max_pool_q(input: &QTensor, k: usize, stride: usize) -> QTensor {
+fn max_pool_q_into(input: &QTensor, k: usize, stride: usize, out: &mut QTensor) {
     let oh = (input.h() - k) / stride + 1;
     let ow = (input.w() - k) / stride + 1;
     let c = input.c();
-    let mut out = QTensor::zeros(oh, ow, c, input.scale);
+    out.reset(oh, ow, c, input.scale);
     for oy in 0..oh {
         for ox in 0..ow {
             for ch in 0..c {
@@ -820,27 +924,27 @@ fn max_pool_q(input: &QTensor, k: usize, stride: usize) -> QTensor {
             }
         }
     }
-    out
 }
 
 /// Average pooling with the DPU's wide internal accumulator: sums in i32
 /// and requantizes to the node's calibrated output scale, so the averaged
 /// values keep their resolution instead of being crushed to the input's
 /// integer grid.
-fn avg_pool_q(
+fn avg_pool_q_into(
     input: &QTensor,
     k: usize,
     stride: usize,
     out_scale: f32,
     format: IntFormat,
-) -> QTensor {
+    out: &mut QTensor,
+) {
     let oh = (input.h() - k) / stride + 1;
     let ow = (input.w() - k) / stride + 1;
     let c = input.c();
     let rescale = input.scale / ((k * k) as f32 * out_scale);
     let hi = format.max_value() as f32;
     let lo = format.min_value() as f32;
-    let mut out = QTensor::zeros(oh, ow, c, out_scale);
+    out.reset(oh, ow, c, out_scale);
     for oy in 0..oh {
         for ox in 0..ow {
             for ch in 0..c {
@@ -856,17 +960,16 @@ fn avg_pool_q(
             }
         }
     }
-    out
 }
 
-/// Global average pooling; see [`avg_pool_q`] for the precision model.
-fn global_avg_pool_q(input: &QTensor, out_scale: f32, format: IntFormat) -> QTensor {
+/// Global average pooling; see [`avg_pool_q_into`] for the precision model.
+fn global_avg_pool_q_into(input: &QTensor, out_scale: f32, format: IntFormat, out: &mut QTensor) {
     let c = input.c();
     let n = (input.h() * input.w()) as f32;
     let rescale = input.scale / (n * out_scale);
     let hi = format.max_value() as f32;
     let lo = format.min_value() as f32;
-    let mut out = QTensor::zeros(1, 1, c, out_scale);
+    out.reset(1, 1, c, out_scale);
     for ch in 0..c {
         let mut s = 0i32;
         for y in 0..input.h() {
@@ -876,11 +979,17 @@ fn global_avg_pool_q(input: &QTensor, out_scale: f32, format: IntFormat) -> QTen
         }
         out.codes[ch] = (s as f32 * rescale).round().clamp(lo, hi) as i8;
     }
-    out
 }
 
-fn add_q(a: &QTensor, b: &QTensor, out_scale: f32, relu: bool, format: IntFormat) -> QTensor {
-    let mut out = QTensor::zeros(a.h(), a.w(), a.c(), out_scale);
+fn add_q_into(
+    a: &QTensor,
+    b: &QTensor,
+    out_scale: f32,
+    relu: bool,
+    format: IntFormat,
+    out: &mut QTensor,
+) {
+    out.reset(a.h(), a.w(), a.c(), out_scale);
     let hi = format.max_value() as f32;
     let lo = format.min_value() as f32;
     for i in 0..out.codes.len() {
@@ -890,17 +999,24 @@ fn add_q(a: &QTensor, b: &QTensor, out_scale: f32, relu: bool, format: IntFormat
         }
         out.codes[i] = v.round().clamp(lo, hi) as i8;
     }
-    out
 }
 
-fn concat_q(inputs: &[&QTensor], shape: Shape, out_scale: f32, format: IntFormat) -> QTensor {
-    let mut out = QTensor::zeros(shape.h, shape.w, shape.c, out_scale);
+fn concat_q_into(
+    input_ids: &[usize],
+    acts: &[QTensor],
+    shape: Shape,
+    out_scale: f32,
+    format: IntFormat,
+    out: &mut QTensor,
+) {
+    out.reset(shape.h, shape.w, shape.c, out_scale);
     let hi = format.max_value() as f32;
     let lo = format.min_value() as f32;
     for y in 0..shape.h {
         for x in 0..shape.w {
             let mut off = 0;
-            for t in inputs {
+            for &ti in input_ids {
+                let t = &acts[ti];
                 for ch in 0..t.c() {
                     let v = f32::from(t.codes[(y * t.w() + x) * t.c() + ch]) * t.scale / out_scale;
                     out.codes[(y * shape.w + x) * shape.c + off + ch] =
@@ -910,15 +1026,6 @@ fn concat_q(inputs: &[&QTensor], shape: Shape, out_scale: f32, format: IntFormat
             }
         }
     }
-    out
-}
-
-fn softmax_f(logits: &Tensor) -> Tensor {
-    let x = logits.data();
-    let m = x.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-    let exps: Vec<f32> = x.iter().map(|&v| (v - m).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    Tensor::vector(exps.into_iter().map(|e| e / sum).collect())
 }
 
 #[cfg(test)]

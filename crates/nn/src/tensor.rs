@@ -110,6 +110,19 @@ impl Tensor {
         self.data[(y * self.w + x) * self.c + ch] = v;
     }
 
+    /// Reshapes in place to `(h, w, c)`, reusing the backing allocation.
+    /// All elements are reset to zero (like a fresh [`Tensor::zeros`]),
+    /// but no allocation happens unless the tensor grows past its
+    /// capacity — the executor arenas rely on this for allocation-free
+    /// steady-state inference.
+    pub fn reset(&mut self, h: usize, w: usize, c: usize) {
+        self.h = h;
+        self.w = w;
+        self.c = c;
+        self.data.clear();
+        self.data.resize(h * w * c, 0.0);
+    }
+
     /// Largest absolute value (0 for an empty tensor).
     pub fn max_abs(&self) -> f32 {
         self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
@@ -190,6 +203,17 @@ impl QTensor {
     /// Whether the tensor has no elements.
     pub fn is_empty(&self) -> bool {
         self.codes.is_empty()
+    }
+
+    /// Reshapes in place to `(h, w, c)` at `scale`, reusing the backing
+    /// allocation; codes are reset to zero. See [`Tensor::reset`].
+    pub fn reset(&mut self, h: usize, w: usize, c: usize, scale: f32) {
+        self.h = h;
+        self.w = w;
+        self.c = c;
+        self.scale = scale;
+        self.codes.clear();
+        self.codes.resize(h * w * c, 0);
     }
 
     /// Dequantizes to a float tensor.

@@ -10,6 +10,7 @@ use redvolt::core::executor::{CampaignPlan, CellAction, CellSpec};
 use redvolt::core::experiment::AcceleratorConfig;
 use redvolt::core::governor::GovernorConfig;
 use redvolt::core::sweep::SweepConfig;
+use redvolt_faults::bus::BusFaultProfile;
 
 /// A small mixed-action plan covering every [`CellAction`] variant: a
 /// sweep grid over two benchmarks × two boards, plus a governor cell and
@@ -94,6 +95,109 @@ fn different_master_seeds_give_different_payloads() {
     let a = mixed_plan(1).run(2).unwrap().to_csv();
     let b = mixed_plan(2).run(2).unwrap().to_csv();
     assert_ne!(a, b, "payload ignores the master seed");
+}
+
+/// A small campaign living deep in the faulting regime: heavy PMBus bus
+/// faults on the host adapter plus sweep/measure points down at voltages
+/// where the DPU injects weight/accumulator/activation flips, across two
+/// benchmarks and a low-precision (INT6, refit-readout) variant.
+fn heavy_fault_plan(master_seed: u64) -> CampaignPlan {
+    let base = AcceleratorConfig {
+        eval_images: 12,
+        repetitions: 2,
+        bus_faults: BusFaultProfile::heavy(),
+        ..AcceleratorConfig::tiny(BenchmarkId::VggNet)
+    };
+    let sweep = SweepConfig {
+        start_mv: 620.0,
+        stop_mv: 545.0,
+        step_mv: 25.0,
+        images: 12,
+    };
+    let mut plan = CampaignPlan::sweep_grid(
+        master_seed,
+        &[BenchmarkId::VggNet, BenchmarkId::GoogleNet],
+        &[0],
+        base,
+        sweep,
+    );
+    plan.push(CellSpec {
+        config: base,
+        action: CellAction::Measure {
+            vccint_mv: Some(550.0),
+            images: 12,
+        },
+        force_temp_c: None,
+    });
+    plan.push(CellSpec {
+        config: AcceleratorConfig { bits: 6, ..base },
+        action: CellAction::Measure {
+            vccint_mv: Some(560.0),
+            images: 12,
+        },
+        force_temp_c: Some(45.0),
+    });
+    plan
+}
+
+/// Golden pin for the kernel rework: the heavy-fault campaign payload was
+/// captured with the naive (pre-im2col) kernels and must stay
+/// byte-identical through every optimization of the inference hot path.
+/// Regenerate (only for changes that legitimately alter the science
+/// payload) with `REDVOLT_UPDATE_GOLDEN=1 cargo test --test determinism`.
+#[test]
+fn heavy_fault_campaign_matches_golden() {
+    let csv = heavy_fault_plan(1906).run(2).unwrap().to_csv();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/campaign_heavy_fault.csv"
+    );
+    if std::env::var_os("REDVOLT_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &csv).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing; regenerate with REDVOLT_UPDATE_GOLDEN=1");
+    assert_eq!(
+        csv, golden,
+        "heavy-fault campaign payload diverged from the pre-rework golden"
+    );
+}
+
+/// The workload cache is a pure bring-up accelerator: serving a prepared
+/// workload from the cache must leave the science payload byte-identical
+/// to preparing every cell from scratch, at any job count.
+#[test]
+fn workload_cache_does_not_affect_campaign_payload() {
+    use redvolt::core::workload_cache;
+
+    let plan = heavy_fault_plan(1906);
+
+    workload_cache::reset();
+    workload_cache::set_enabled(false);
+    let cold = plan.run(1).unwrap().to_csv();
+
+    workload_cache::reset();
+    let warm_serial = plan.run(1).unwrap().to_csv();
+    let warm_parallel = plan.run(4).unwrap().to_csv();
+
+    assert_eq!(cold, warm_serial, "cache on/off changed the payload");
+    assert_eq!(cold, warm_parallel, "cached parallel run diverged");
+
+    // Non-vacuity: prove the cache is actually live in this process with
+    // a controlled lookup pair on a config no other test uses. Counter
+    // *deltas* from concurrent tests in this binary only add, so the
+    // assertions are monotone (>=), not exact.
+    let probe = redvolt::core::bench_suite::WorkloadConfig {
+        seed: 777_001,
+        ..redvolt::core::bench_suite::WorkloadConfig::tiny(BenchmarkId::VggNet)
+    };
+    let before = workload_cache::stats();
+    workload_cache::get_or_prepare(probe).unwrap();
+    workload_cache::get_or_prepare(probe).unwrap();
+    let after = workload_cache::stats();
+    assert!(after.misses > before.misses, "first probe lookup must miss");
+    assert!(after.hits > before.hits, "second probe lookup must hit");
 }
 
 #[test]

@@ -123,6 +123,73 @@ fn claim_frequency_underscaling_rescues_accuracy() {
 }
 
 #[test]
+fn claim_throughput_scales_sublinearly_with_frequency() {
+    // Table 2 (§5): the DPU is partly memory-bound, so underclocking from
+    // Fnom costs less throughput than the frequency ratio — every row's
+    // normalized GOPs stays above fmax/Fnom. (At exactly linear scaling
+    // gops_norm == freq_ratio; the margin below guards the inequality
+    // from being satisfied by float noise.)
+    let mut acc = Accelerator::bring_up(&tiny(BenchmarkId::VggNet)).unwrap();
+    let rows = frequency_underscaling(
+        &mut acc,
+        &FreqScaleConfig {
+            images: 12,
+            ..FreqScaleConfig::default()
+        },
+    )
+    .unwrap();
+    let mut saw_underclocked_row = false;
+    for row in &rows {
+        let freq_ratio = row.fmax_mhz / F_NOM_MHZ;
+        if row.fmax_mhz < F_NOM_MHZ {
+            saw_underclocked_row = true;
+            assert!(
+                row.gops_norm > freq_ratio + 0.01,
+                "at {} mV: gops_norm {:.3} <= freq ratio {:.3} (linear or worse)",
+                row.vccint_mv,
+                row.gops_norm,
+                freq_ratio
+            );
+        }
+    }
+    assert!(
+        saw_underclocked_row,
+        "scan never left Fnom — test is vacuous"
+    );
+}
+
+#[test]
+fn claim_vulnerability_ordering_spares_the_shallow_model() {
+    // §4.4: deep parameter-heavy models (ResNet50, Inception) lose more
+    // accuracy in the critical region than shallow AlexNet, which has
+    // far fewer fault-site-exposed MACs per prediction.
+    let relative_drop = |benchmark: BenchmarkId| {
+        let mut acc = Accelerator::bring_up(&AcceleratorConfig {
+            benchmark,
+            eval_images: 60,
+            repetitions: 5,
+            ..AcceleratorConfig::default()
+        })
+        .unwrap();
+        let nominal = acc.measure(60).unwrap().accuracy;
+        acc.set_vccint_mv(550.0).unwrap();
+        let degraded = acc.measure(60).unwrap().accuracy;
+        (nominal - degraded) / nominal
+    };
+    let alexnet = relative_drop(BenchmarkId::AlexNet);
+    let resnet = relative_drop(BenchmarkId::ResNet50);
+    let inception = relative_drop(BenchmarkId::Inception);
+    assert!(
+        resnet > alexnet,
+        "relative drop: ResNet {resnet:.3} <= AlexNet {alexnet:.3}"
+    );
+    assert!(
+        inception > alexnet,
+        "relative drop: Inception {inception:.3} <= AlexNet {alexnet:.3}"
+    );
+}
+
+#[test]
 fn claim_pruned_models_trade_fragility_for_efficiency() {
     let study = pruning_study(
         &tiny(BenchmarkId::VggNet),
