@@ -32,11 +32,22 @@
 //! text exposition, and `--progress SECS` emits live progress lines to
 //! stderr. Exported metric bytes are a pure function of (seed, plan) —
 //! identical for every `--jobs` value.
+//!
+//! SDC defense: `--defense off|detect|correct` arms ABFT checksums on
+//! the kernels and ECC SECDED scrubbing on the BRAM weight store (`off`
+//! keeps the execution path bit-identical to the undefended kernels),
+//! and `--governor` turns on the adaptive undervolt governor, which
+//! walks faulting cells down the mitigation ladder (frequency first,
+//! then voltage backoff) and reports them as degraded-but-clean instead
+//! of handing back corrupt payloads. Both are deterministic functions of
+//! (seed, plan), so defended campaigns remain jobs-invariant.
 
 use redvolt_bench::harness::{
     self, CampaignOptions, Settings, ALL_EXPERIMENTS, SWEEP_CACHED_EXPERIMENTS, VALUE_FLAGS,
 };
-use redvolt_core::telemetry::{bus_stats_table, CampaignObserver, CampaignTelemetry};
+use redvolt_core::telemetry::{
+    bus_stats_table, defense_stats_table, CampaignObserver, CampaignTelemetry,
+};
 use std::time::Instant;
 
 fn main() {
@@ -65,6 +76,8 @@ fn main() {
     }
     let settings = Settings {
         bus_faults: opts.fault_profile,
+        defense: opts.defense,
+        governor: opts.governor,
         ..if quick {
             Settings::quick()
         } else {
@@ -73,11 +86,13 @@ fn main() {
     };
     println!(
         "# redvolt reproduction of DSN-2020 'Reduced-Voltage Operation in Modern FPGAs'\n\
-         # settings: boards={:?} images={} reps={} faults={} ({})\n",
+         # settings: boards={:?} images={} reps={} faults={} defense={} governor={} ({})\n",
         settings.boards,
         settings.images,
         settings.reps,
         settings.bus_faults.name(),
+        settings.defense.name(),
+        if settings.governor { "on" } else { "off" },
         if quick { "quick" } else { "full" }
     );
     // Run the shared sweep grid once, in parallel, before any consumer.
@@ -117,6 +132,9 @@ fn main() {
         // straight and interrupted-then-resumed runs print the same bytes.
         let telem = CampaignTelemetry::collect(&sup.report);
         println!("{}", bus_stats_table(&sup.report).to_text());
+        if settings.defense.is_on() || settings.governor {
+            println!("{}", defense_stats_table(&sup.report).to_text());
+        }
         println!("{}", telem.summary_table().to_text());
         if let Err(e) = opts.export_telemetry(&telem) {
             eprintln!("error: telemetry export: {e}");

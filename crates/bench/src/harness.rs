@@ -16,6 +16,7 @@ use redvolt_core::telemetry::{CampaignObserver, CampaignTelemetry};
 use redvolt_core::tempexp::{temperature_study, TempStudy, SETPOINTS_C};
 use redvolt_core::{efficiency, experiment::Measurement};
 use redvolt_faults::bus::BusFaultProfile;
+use redvolt_nn::abft::DefenseMode;
 use redvolt_nn::models::ModelScale;
 use redvolt_num::stats;
 use redvolt_telemetry::progress::ProgressReporter;
@@ -36,6 +37,12 @@ pub struct Settings {
     /// retry/PEC machinery absorbs these, so results stay byte-identical
     /// for a given (profile, seed) pair.
     pub bus_faults: BusFaultProfile,
+    /// SDC defense (`--defense off|detect|correct`): ABFT checksums on
+    /// the kernels plus ECC SECDED on the BRAM weight store.
+    pub defense: DefenseMode,
+    /// Adaptive undervolt governor (`--governor`): rescue faulting cells
+    /// along the mitigation ladder instead of reporting corrupt payloads.
+    pub governor: bool,
 }
 
 impl Settings {
@@ -47,6 +54,8 @@ impl Settings {
             reps: 10,
             scale: ModelScale::Paper,
             bus_faults: BusFaultProfile::none(),
+            defense: DefenseMode::Off,
+            governor: false,
         }
     }
 
@@ -58,6 +67,8 @@ impl Settings {
             reps: 3,
             scale: ModelScale::Paper,
             bus_faults: BusFaultProfile::none(),
+            defense: DefenseMode::Off,
+            governor: false,
         }
     }
 
@@ -69,6 +80,8 @@ impl Settings {
             reps: 2,
             scale: ModelScale::Tiny,
             bus_faults: BusFaultProfile::none(),
+            defense: DefenseMode::Off,
+            governor: false,
         }
     }
 
@@ -80,6 +93,8 @@ impl Settings {
             eval_images: self.images,
             repetitions: self.reps,
             bus_faults: self.bus_faults,
+            defense: self.defense,
+            governor: self.governor,
             ..AcceleratorConfig::default()
         }
     }
@@ -90,10 +105,12 @@ fn bring_up(cfg: &AcceleratorConfig) -> Accelerator {
 }
 
 /// Sweep-cache key: (benchmark index, board, images, reps, paper scale?,
-/// fault-profile rate bits). The fault profile changes how many bus
-/// transactions each measurement issues, so sweeps taken under different
-/// profiles must never satisfy each other's cache lookups.
-type SweepKey = (u8, u32, usize, usize, bool, (u64, u64, u64));
+/// fault-profile rate bits, defense index, governor?). The fault profile
+/// changes how many bus transactions each measurement issues, and the
+/// defense/governor settings change both the measured payloads and the
+/// seed draws, so sweeps taken under different configurations must never
+/// satisfy each other's cache lookups.
+type SweepKey = (u8, u32, usize, usize, bool, (u64, u64, u64), u8, bool);
 type SweepCache = std::sync::Mutex<std::collections::HashMap<SweepKey, VoltageSweep>>;
 
 /// Deterministic sweeps are shared across figures (Figs. 3-6 all consume
@@ -111,6 +128,8 @@ fn cache_key(s: &Settings, kind: BenchmarkId, board: u32) -> SweepKey {
         s.reps,
         s.scale == ModelScale::Paper,
         s.bus_faults.key_bits(),
+        s.defense as u8,
+        s.governor,
     )
 }
 
@@ -220,7 +239,7 @@ pub fn parse_jobs(args: &[String]) -> usize {
 
 /// Flags that consume the following argument. The binaries use this to
 /// tell option values apart from experiment names when filtering argv.
-pub const VALUE_FLAGS: [&str; 8] = [
+pub const VALUE_FLAGS: [&str; 9] = [
     "--jobs",
     "--journal",
     "--max-attempts",
@@ -229,11 +248,12 @@ pub const VALUE_FLAGS: [&str; 8] = [
     "--metrics-out",
     "--prom-out",
     "--progress",
+    "--defense",
 ];
 
 /// Campaign-level options shared by the `repro` and `calibrate` binaries:
-/// parallelism, the write-ahead journal, the retry budget and the
-/// injected PMBus fault profile.
+/// parallelism, the write-ahead journal, the retry budget, the injected
+/// PMBus fault profile and the SDC defense configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignOptions {
     /// Worker threads (`--jobs N`, 0 or absent = available parallelism).
@@ -258,6 +278,10 @@ pub struct CampaignOptions {
     /// Emit live progress to stderr at most every this many seconds
     /// (`--progress SECS`; 0 = on every completed cell).
     pub progress: Option<u64>,
+    /// SDC defense mode (`--defense off|detect|correct`).
+    pub defense: DefenseMode,
+    /// Adaptive undervolt governor (`--governor`).
+    pub governor: bool,
 }
 
 impl Default for CampaignOptions {
@@ -272,6 +296,8 @@ impl Default for CampaignOptions {
             metrics_out: None,
             prom_out: None,
             progress: None,
+            defense: DefenseMode::Off,
+            governor: false,
         }
     }
 }
@@ -349,6 +375,12 @@ impl CampaignOptions {
                             .ok_or("--progress needs an interval in whole seconds")?,
                     );
                 }
+                "--defense" => {
+                    let name = value.ok_or("--defense needs off, detect or correct")?;
+                    opts.defense = DefenseMode::parse(&name)
+                        .ok_or_else(|| format!("unknown defense mode `{name}`"))?;
+                }
+                "--governor" => opts.governor = true,
                 _ => {}
             }
             i += 1;
@@ -1160,6 +1192,9 @@ mod tests {
             "--fault-profile",
             "light",
             "--halt-after-cells=3",
+            "--defense",
+            "correct",
+            "--governor",
         ]))
         .unwrap();
         assert_eq!(opts.jobs, 2);
@@ -1174,13 +1209,18 @@ mod tests {
         assert_eq!(opts.supervisor_config().max_attempts, 5);
         assert_eq!(opts.supervisor_config().halt_after, Some(3));
         assert!(opts.journal_spec().is_some_and(|j| j.resume));
+        assert_eq!(opts.defense, DefenseMode::Correct);
+        assert!(opts.governor);
 
         let defaults = CampaignOptions::from_args(&args(&["fig3", "--csv"])).unwrap();
         assert_eq!(defaults.fault_profile, BusFaultProfile::none());
         assert!(defaults.journal.is_none() && !defaults.resume);
+        assert_eq!(defaults.defense, DefenseMode::Off);
+        assert!(!defaults.governor);
 
         assert!(CampaignOptions::from_args(&args(&["--resume"])).is_err());
         assert!(CampaignOptions::from_args(&args(&["--fault-profile", "bad"])).is_err());
+        assert!(CampaignOptions::from_args(&args(&["--defense", "nope"])).is_err());
         assert!(CampaignOptions::from_args(&args(&["--max-attempts", "0"])).is_err());
         assert!(CampaignOptions::from_args(&args(&["--journal"])).is_err());
     }
@@ -1196,6 +1236,23 @@ mod tests {
             cache_key(&clean, BenchmarkId::VggNet, 0),
             cache_key(&faulty, BenchmarkId::VggNet, 0)
         );
+    }
+
+    #[test]
+    fn defense_and_governor_partition_the_sweep_cache() {
+        let plain = Settings::tiny();
+        let defended = Settings {
+            defense: DefenseMode::Correct,
+            ..Settings::tiny()
+        };
+        let governed = Settings {
+            governor: true,
+            ..Settings::tiny()
+        };
+        let key = |s: &Settings| cache_key(s, BenchmarkId::VggNet, 0);
+        assert_ne!(key(&plain), key(&defended));
+        assert_ne!(key(&plain), key(&governed));
+        assert_ne!(key(&defended), key(&governed));
     }
 
     #[test]

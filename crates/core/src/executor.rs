@@ -25,7 +25,9 @@
 
 use crate::bench_suite::{benchmark_index, BenchmarkId};
 use crate::experiment::{Accelerator, AcceleratorConfig, MeasureError, Measurement};
-use crate::governor::{run_governor, GovernorConfig, GovernorTrace};
+use crate::governor::{
+    run_adaptive_rescue, run_governor, AdaptiveConfig, GovernorConfig, GovernorTrace, RescueTrace,
+};
 use crate::report::Table;
 use crate::sweep::{voltage_sweep, SweepConfig, VoltageSweep};
 use crate::telemetry::CellTelemetry;
@@ -89,6 +91,18 @@ pub enum CellOutcome {
     Governor(GovernorTrace),
     /// From [`CellAction::Measure`].
     Measure(Measurement),
+    /// From [`CellAction::Measure`] under an armed adaptive governor
+    /// ([`AcceleratorConfig::governor`]): the commanded operating point
+    /// produced SDC/ECC events, so the governor walked it along the
+    /// mitigation ladder and reports a *clean* measurement at the
+    /// degraded point together with the rescue trace — graceful
+    /// degradation instead of a silently-corrupted payload.
+    Degraded {
+        /// The measurement at the settled (rescued) operating point.
+        measurement: Measurement,
+        /// The probe windows that led there.
+        trace: RescueTrace,
+    },
     /// The cell did not complete: it panicked, exhausted its retry
     /// budget, or hit its watchdog deadline. Recorded in the report (with
     /// a deterministic cause string) instead of poisoning the campaign —
@@ -123,6 +137,11 @@ impl CellOutcome {
             }
             CellOutcome::Governor(t) => t.csv_rows(),
             CellOutcome::Measure(m) => vec![m.csv_row()],
+            CellOutcome::Degraded { measurement, trace } => {
+                let mut rows = trace.csv_rows();
+                rows.push(format!("degraded,{}", measurement.csv_row()));
+                rows
+            }
             CellOutcome::Aborted { cause } => {
                 vec![format!("aborted,{}", cause.replace(['\n', '\r'], " "))]
             }
@@ -354,7 +373,21 @@ pub(crate) fn execute_cell_with(
                 Some(mv) => acc.set_vccint_mv(*mv),
                 None => Ok(()),
             };
-            set.and_then(|()| acc.measure(*images).map(CellOutcome::Measure))
+            set.and_then(|()| {
+                if spec.config.governor {
+                    run_adaptive_rescue(&mut acc, &AdaptiveConfig::default(), *images).map(
+                        |(measurement, trace)| {
+                            if trace.intervened() {
+                                CellOutcome::Degraded { measurement, trace }
+                            } else {
+                                CellOutcome::Measure(measurement)
+                            }
+                        },
+                    )
+                } else {
+                    acc.measure(*images).map(CellOutcome::Measure)
+                }
+            })
         }
     };
     let telemetry = acc.take_telemetry();
@@ -708,6 +741,42 @@ mod tests {
         let wide = plan.run(64).unwrap();
         assert_eq!(wide.jobs, 1, "jobs clamped to cell count");
         assert_eq!(wide.to_csv(), plan.run(1).unwrap().to_csv());
+    }
+
+    #[test]
+    fn governed_measure_cell_degrades_instead_of_corrupting() {
+        use redvolt_nn::abft::DefenseMode;
+        let mut plan = CampaignPlan::new(17);
+        plan.push(CellSpec {
+            config: AcceleratorConfig {
+                eval_images: 16,
+                repetitions: 1,
+                scale: ModelScale::Paper,
+                defense: DefenseMode::Correct,
+                governor: true,
+                ..AcceleratorConfig::tiny(BenchmarkId::VggNet)
+            },
+            action: CellAction::Measure {
+                vccint_mv: Some(550.0),
+                images: 16,
+            },
+            force_temp_c: None,
+        });
+        let report = plan.run(1).unwrap();
+        match &report.results[0].outcome {
+            CellOutcome::Degraded { measurement, trace } => {
+                assert!(trace.rescued);
+                assert!(trace.intervened());
+                assert_eq!(
+                    measurement.injected_faults, 0,
+                    "degraded payload must be clean"
+                );
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        let csv = report.to_csv();
+        assert!(csv.contains("\nrescue,"), "rescue trace rows missing");
+        assert!(csv.contains("\ndegraded,"), "degraded row missing");
     }
 
     #[test]

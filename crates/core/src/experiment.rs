@@ -13,6 +13,7 @@ use redvolt_dpu::runtime::{DpuRuntime, RunError};
 use redvolt_faults::bus::{BusFaultProfile, PmbusFaultModel};
 use redvolt_fpga::board::{Zcu102Board, SYSCTRL_ADDRESS};
 use redvolt_fpga::calib::F_NOM_MHZ;
+use redvolt_nn::abft::{DefenseMode, DefensePolicy};
 use redvolt_nn::models::ModelScale;
 use redvolt_num::rng::derive_stream_seed;
 use redvolt_num::stats::Summary;
@@ -58,6 +59,15 @@ pub struct AcceleratorConfig {
     /// schedule derives from `seed`, keeping faulted campaigns exactly as
     /// reproducible as clean ones.
     pub bus_faults: BusFaultProfile,
+    /// SDC defense armed on the DPU runtime: ECC filtering of BRAM
+    /// upsets plus ABFT checksums in the quantized executor. `Off`
+    /// preserves the historical bit-identical undefended datapath.
+    pub defense: DefenseMode,
+    /// Arm the adaptive undervolt governor: measurement cells probe the
+    /// operating point and, on SDC/ECC events, walk it along the paper's
+    /// mitigation axes (frequency underscaling, then voltage backoff)
+    /// instead of emitting corrupted payloads.
+    pub governor: bool,
 }
 
 impl Default for AcceleratorConfig {
@@ -73,6 +83,8 @@ impl Default for AcceleratorConfig {
             seed: 42,
             track_bram_rail: true,
             bus_faults: BusFaultProfile::none(),
+            defense: DefenseMode::Off,
+            governor: false,
         }
     }
 }
@@ -233,8 +245,10 @@ impl Accelerator {
                     derive_stream_seed(config.seed, BUS_FAULT_STREAM),
                 )))
         };
+        let mut runtime = DpuRuntime::open(board);
+        runtime.set_defense(DefensePolicy::for_mode(config.defense));
         Ok(Accelerator {
-            runtime: DpuRuntime::open(board),
+            runtime,
             host,
             workload,
             config: *config,
@@ -500,6 +514,18 @@ impl Accelerator {
         self.runtime.faults_observed()
     }
 
+    /// Cumulative SDC/ECC defense events since bring-up: BRAM words the
+    /// SECDED layer touched (corrected or uncorrectable) plus ABFT
+    /// checksum mismatches. The adaptive governor snapshots this before
+    /// and after each probe window — a non-zero delta means the current
+    /// operating point is stressing the defenses even when every event
+    /// was absorbed.
+    pub fn defense_events(&self) -> u64 {
+        let ecc = self.runtime.ecc_stats();
+        let abft = self.runtime.defense_stats();
+        ecc.corrected_words + ecc.uncorrectable_words + abft.mismatches
+    }
+
     /// Drains this accelerator's telemetry: scalar counters/gauges plus
     /// the recorded spans (ids local to this accelerator; the campaign
     /// layer re-parents and re-bases them in plan order). Everything here
@@ -507,6 +533,9 @@ impl Accelerator {
     /// fault schedules, commanded rails — never wall clock.
     pub fn take_telemetry(&mut self) -> CellTelemetry {
         let snap = self.runtime.board().snapshot();
+        let ecc = self.runtime.ecc_stats();
+        let abft = self.runtime.defense_stats();
+        let scrub = self.runtime.scrubber();
         CellTelemetry {
             cycles: self.runtime.cycles_run(),
             dpu_faults: self.runtime.faults_observed(),
@@ -516,6 +545,14 @@ impl Accelerator {
             vccint_mv: snap.vccint_mv,
             vccbram_mv: snap.vccbram_mv,
             junction_c: snap.junction_c,
+            ecc_corrected: ecc.corrected_words,
+            ecc_uncorrectable: ecc.uncorrectable_words,
+            abft_checks: abft.checks,
+            abft_mismatches: abft.mismatches,
+            abft_reexecutions: abft.reexecutions,
+            abft_unresolved: abft.unresolved,
+            scrub_passes: scrub.passes(),
+            scrub_retired: scrub.scrubbed(),
             spans: self.spans.take(),
         }
     }
@@ -606,6 +643,32 @@ mod tests {
         );
         assert_eq!(a1.bus_stats(), a2.bus_stats());
         assert_eq!(a1.bus_stats().exhausted, 0, "resilient policy absorbs them");
+    }
+
+    #[test]
+    fn defended_accelerator_surfaces_defense_telemetry() {
+        let cfg = AcceleratorConfig {
+            defense: DefenseMode::Correct,
+            ..AcceleratorConfig::tiny(BenchmarkId::VggNet)
+        };
+        let mut a = Accelerator::bring_up(&cfg).unwrap();
+        a.set_vccint_mv(550.0).unwrap();
+        a.measure(8).unwrap();
+        let t = a.take_telemetry();
+        assert!(t.abft_checks > 0, "defended runs must execute checks");
+        assert_eq!(
+            a.defense_events(),
+            t.ecc_corrected + t.ecc_uncorrectable + t.abft_mismatches,
+            "governor signal must match the exported counters"
+        );
+
+        // An undefended accelerator at the same point stays silent.
+        let mut off = acc();
+        off.set_vccint_mv(550.0).unwrap();
+        off.measure(8).unwrap();
+        let t_off = off.take_telemetry();
+        assert_eq!(t_off.abft_checks, 0);
+        assert_eq!(off.defense_events(), 0);
     }
 
     #[test]

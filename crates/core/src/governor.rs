@@ -14,7 +14,8 @@
 //! governor automatically reaches deeper voltages on a hot board — the
 //! §7.3 observation turned into a controller.
 
-use crate::experiment::{Accelerator, MeasureError};
+use crate::experiment::{Accelerator, MeasureError, Measurement};
+use crate::mitigation::{LadderMove, MitigationLadder};
 use redvolt_fpga::calib::VNOM_MV;
 
 /// Governor tuning.
@@ -166,11 +167,168 @@ pub fn run_governor(
     })
 }
 
+/// Tuning of the adaptive SDC governor.
+///
+/// Where [`run_governor`] *hunts* for the deepest safe voltage, the
+/// adaptive governor *defends* a commanded operating point: it watches the
+/// per-window SDC/ECC event rate and, while events keep arriving, walks
+/// the point along the [`MitigationLadder`] — frequency underscaling
+/// first, voltage backoff toward the guardband second — until
+/// `clean_windows` consecutive probe windows are event-free (the
+/// hysteresis that keeps a single lucky window from settling the loop).
+/// The streak's last window runs at full batch size and becomes the
+/// returned measurement, so a settled rescue is clean by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Escalation policy.
+    pub ladder: MitigationLadder,
+    /// Images per probe window.
+    pub probe_images: usize,
+    /// Consecutive clean windows required before settling.
+    pub clean_windows: u32,
+    /// Probe-window budget (a backstop; the ladder is finite, so the loop
+    /// terminates long before this in practice).
+    pub max_windows: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            ladder: MitigationLadder::default(),
+            probe_images: 8,
+            clean_windows: 2,
+            max_windows: 32,
+        }
+    }
+}
+
+/// One probe window of an adaptive-governor run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RescueStep {
+    /// Window index.
+    pub window: u32,
+    /// DPU clock during the window, MHz.
+    pub f_mhz: f64,
+    /// `VCCINT` during the window, mV.
+    pub vccint_mv: f64,
+    /// SDC/ECC events observed: faults delivered into the datapath plus
+    /// defense-layer events (ECC words touched, ABFT mismatches).
+    pub events: u64,
+}
+
+/// Trace of an adaptive-governor rescue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescueTrace {
+    /// Per-window records, in probe order.
+    pub steps: Vec<RescueStep>,
+    /// Whether the loop settled on an event-free operating point (false
+    /// only when the ladder and window budget were both exhausted).
+    pub rescued: bool,
+}
+
+impl RescueTrace {
+    /// Whether the governor had to act at all: a clean commanded point
+    /// settles without a single event and stays a plain measurement.
+    pub fn intervened(&self) -> bool {
+        self.steps.iter().any(|s| s.events > 0)
+    }
+
+    /// Canonical CSV rows (`rescue,window,f_mhz,vccint_mv,events`), using
+    /// shortest round-trip float formatting like every campaign payload.
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.steps
+            .iter()
+            .map(|s| {
+                format!(
+                    "rescue,{},{:?},{:?},{}",
+                    s.window, s.f_mhz, s.vccint_mv, s.events
+                )
+            })
+            .collect()
+    }
+}
+
+/// Probes the accelerator's current operating point and rescues it if it
+/// produces SDC/ECC events, then takes the final measurement over
+/// `images` images at the settled point.
+///
+/// The event signal combines the faults delivered into the datapath with
+/// the defense counters ([`Accelerator::defense_events`]), so the
+/// governor escalates even when ECC/ABFT absorbed every corruption —
+/// sustained correction traffic means the margin is gone, which is
+/// exactly the paper's cue to underscale.
+///
+/// The last of the `clean_windows` hysteresis windows runs over the full
+/// `images` batch and doubles as the returned measurement. Marginal
+/// points fault in rare bursts that a short probe can miss, so settling
+/// on probes alone would hand back a payload the governor never actually
+/// watched; confirming on the full batch means `rescued == true` implies
+/// the returned measurement itself produced zero events.
+///
+/// # Errors
+///
+/// Propagates measurement errors, including crashes (the supervisor owns
+/// power-cycle-and-retry).
+pub fn run_adaptive_rescue(
+    acc: &mut Accelerator,
+    cfg: &AdaptiveConfig,
+    images: usize,
+) -> Result<(Measurement, RescueTrace), MeasureError> {
+    let mut steps = Vec::new();
+    let mut clean = 0u32;
+    for window in 0..cfg.max_windows {
+        // The confirmation window closes the hysteresis streak at full
+        // batch size; earlier windows are cheap short probes.
+        let confirm = clean + 1 >= cfg.clean_windows;
+        let before = acc.defense_events();
+        let n = if confirm { images } else { cfg.probe_images };
+        let m = acc.measure(n)?;
+        let events = m.injected_faults + (acc.defense_events() - before);
+        steps.push(RescueStep {
+            window,
+            f_mhz: acc.clock_mhz(),
+            vccint_mv: acc.vccint_mv(),
+            events,
+        });
+        if events == 0 {
+            if confirm {
+                return Ok((
+                    m,
+                    RescueTrace {
+                        steps,
+                        rescued: true,
+                    },
+                ));
+            }
+            clean += 1;
+        } else {
+            clean = 0;
+            match cfg.ladder.next(acc.clock_mhz(), acc.vccint_mv()) {
+                LadderMove::Underscale(f_mhz) => acc.set_clock_mhz(f_mhz),
+                LadderMove::Backoff(mv) => acc.set_vccint_mv(mv)?,
+                LadderMove::Exhausted => break,
+            }
+        }
+    }
+    // Windows or ladder exhausted: measure where we stand and report the
+    // rescue as failed so the caller can see the payload was never
+    // confirmed clean.
+    let measurement = acc.measure(images)?;
+    Ok((
+        measurement,
+        RescueTrace {
+            steps,
+            rescued: false,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bench_suite::BenchmarkId;
     use crate::experiment::AcceleratorConfig;
+    use proptest::prelude::*;
     use redvolt_nn::models::ModelScale;
 
     fn accelerator() -> Accelerator {
@@ -209,6 +367,91 @@ mod tests {
             "governor should probe near Vmin: lo = {lo}"
         );
         assert!(trace.crash_count() <= 2, "crashes: {}", trace.crash_count());
+    }
+
+    fn paper_scale(board: u32) -> AcceleratorConfig {
+        AcceleratorConfig {
+            board_sample: board,
+            eval_images: 16,
+            repetitions: 1,
+            scale: ModelScale::Paper,
+            ..AcceleratorConfig::tiny(BenchmarkId::VggNet)
+        }
+    }
+
+    #[test]
+    fn adaptive_rescue_underscales_before_backing_voltage_off() {
+        let mut acc = Accelerator::bring_up(&paper_scale(0)).unwrap();
+        acc.set_vccint_mv(550.0).unwrap();
+        assert!(
+            acc.measure(16).unwrap().injected_faults > 0,
+            "550 mV at the full clock must fault, or this test probes nothing"
+        );
+        let (m, trace) = run_adaptive_rescue(&mut acc, &AdaptiveConfig::default(), 16).unwrap();
+        assert!(trace.rescued);
+        assert!(trace.intervened());
+        assert_eq!(m.injected_faults, 0, "settled point must be clean");
+        assert!(m.f_mhz < 333.0, "rescue should underscale: {}", m.f_mhz);
+        // Frequency moves strictly before voltage: every window at the
+        // commanded 550 mV until the clock floor is reached.
+        let first_backoff = trace.steps.iter().position(|s| s.vccint_mv > 550.0);
+        if let Some(i) = first_backoff {
+            assert!(
+                (trace.steps[i].f_mhz - 258.0).abs() < 1e-9,
+                "voltage must not move before the clock floor: {:?}",
+                trace.steps[i]
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_rescue_is_a_no_op_at_clean_points() {
+        let mut acc = Accelerator::bring_up(&paper_scale(0)).unwrap();
+        acc.set_vccint_mv(600.0).unwrap();
+        let cfg = AdaptiveConfig::default();
+        let (m, trace) = run_adaptive_rescue(&mut acc, &cfg, 16).unwrap();
+        assert!(trace.rescued);
+        assert!(!trace.intervened());
+        assert_eq!(trace.steps.len(), cfg.clean_windows as usize);
+        assert_eq!(m.vccint_mv, 600.0);
+        assert_eq!(m.f_mhz, 333.0);
+        assert_eq!(m.injected_faults, 0);
+    }
+
+    proptest! {
+        /// The issue's mitigation property: for any board sample (process
+        /// corner) and any commanded sub-Vmin voltage, the operating
+        /// point the governor settles on yields zero injected faults
+        /// while staying inside the paper's throughput band (Table 2
+        /// keeps >= 70 % of nominal GOPs at every rescued point).
+        #[test]
+        fn rescue_lands_clean_within_the_throughput_band(
+            board in 0u32..64,
+            mv in 109u32..=113, // 545..=565 mV on the 5 mV grid
+        ) {
+            let mv = f64::from(mv) * 5.0;
+            let mut acc = Accelerator::bring_up(&paper_scale(board)).unwrap();
+            let nominal = acc.measure(16).unwrap();
+            // Weak corners hang below their Vcrash at the deepest
+            // commanded points; rescuing a hung board is the
+            // supervisor's job (power-cycle + retry), not the governor's.
+            if acc.set_vccint_mv(mv).is_ok() {
+                match run_adaptive_rescue(&mut acc, &AdaptiveConfig::default(), 16) {
+                    Ok((m, trace)) => {
+                        prop_assert!(trace.rescued, "ladder must converge");
+                        prop_assert_eq!(m.injected_faults, 0);
+                        prop_assert!(
+                            m.gops / nominal.gops >= 0.70,
+                            "throughput band violated: {} vs {}",
+                            m.gops,
+                            nominal.gops
+                        );
+                    }
+                    Err(MeasureError::Crashed { .. }) => {} // as above
+                    Err(e) => panic!("unexpected measure error: {e}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use crate::executor::{CampaignPlan, CellOutcome};
 use crate::experiment::Measurement;
-use crate::governor::{GovernorStep, GovernorTrace};
+use crate::governor::{GovernorStep, GovernorTrace, RescueStep, RescueTrace};
 use crate::sweep::VoltageSweep;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -57,12 +57,18 @@ pub fn plan_fingerprint(plan: &CampaignPlan) -> u64 {
     let mut desc = format!("seed={}", plan.master_seed);
     for (i, cell) in plan.cells().iter().enumerate() {
         desc.push_str(&format!(
-            ";{}={}:{}:{:?}:{:?}",
+            ";{}={}:{}:{:?}:{:?}:{:?}:{}",
             i,
             cell.label(),
             plan.cell_seed(i),
             cell.action,
-            cell.force_temp_c
+            cell.force_temp_c,
+            // Defense and governor change the cell's payload without
+            // changing its label or action, so they must partition
+            // journals: resuming a defended campaign from an undefended
+            // journal would silently mix the two datapaths.
+            cell.config.defense,
+            cell.config.governor,
         ));
     }
     fnv1a(desc.as_bytes())
@@ -112,11 +118,27 @@ impl JournalWriter {
     /// Opens an existing journal for appending (the resume path; the
     /// header is assumed already validated by [`read_journal`]).
     ///
+    /// A torn final line — the previous writer died mid-append — is
+    /// truncated away first. [`read_journal`] already ignores the
+    /// fragment, but appending *after* it would fuse the fragment with
+    /// the next entry into one malformed record, so the incomplete
+    /// record is dropped on disk as well and its cell simply re-runs.
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn append_to(path: &Path) -> io::Result<Self> {
-        let file = OpenOptions::new().append(true).open(path)?;
+        use std::io::{Seek, SeekFrom};
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        if let Some(pos) = raw.iter().rposition(|&b| b == b'\n') {
+            let keep = (pos + 1) as u64;
+            if keep < raw.len() as u64 {
+                file.set_len(keep)?;
+            }
+        }
+        file.seek(SeekFrom::End(0))?;
         Ok(JournalWriter {
             out: BufWriter::new(file),
         })
@@ -251,6 +273,23 @@ pub fn encode_outcome(outcome: &CellOutcome) -> String {
             };
             format!("governor {steps} settled={:?}", t.settled_mv)
         }
+        CellOutcome::Degraded { measurement, trace } => {
+            let steps = if trace.steps.is_empty() {
+                "-".to_string()
+            } else {
+                trace
+                    .steps
+                    .iter()
+                    .map(|s| format!("{},{:?},{:?},{}", s.window, s.f_mhz, s.vccint_mv, s.events))
+                    .collect::<Vec<_>>()
+                    .join("|")
+            };
+            format!(
+                "degraded {steps} final={} rescued={}",
+                measurement.csv_row(),
+                u8::from(trace.rescued)
+            )
+        }
         CellOutcome::Aborted { cause } => {
             format!("aborted {}", cause.replace(['\n', '\r'], " "))
         }
@@ -297,6 +336,28 @@ pub fn decode_outcome(payload: &str) -> Option<CellOutcome> {
             };
             Some(CellOutcome::Governor(GovernorTrace { steps, settled_mv }))
         }
+        "degraded" => {
+            let (rest, rescued_s) = rest.rsplit_once(' ')?;
+            let rescued = match rescued_s.strip_prefix("rescued=")? {
+                "0" => false,
+                "1" => true,
+                _ => return None,
+            };
+            let (steps_s, final_s) = rest.rsplit_once(' ')?;
+            let measurement = parse_measurement(final_s.strip_prefix("final=")?)?;
+            let steps = if steps_s == "-" {
+                Vec::new()
+            } else {
+                steps_s
+                    .split('|')
+                    .map(parse_rescue_step)
+                    .collect::<Option<Vec<_>>>()?
+            };
+            Some(CellOutcome::Degraded {
+                measurement,
+                trace: RescueTrace { steps, rescued },
+            })
+        }
         "aborted" => Some(CellOutcome::Aborted {
             cause: rest.to_string(),
         }),
@@ -319,6 +380,19 @@ fn parse_measurement(row: &str) -> Option<Measurement> {
         junction_c: f[6].parse().ok()?,
         injected_faults: f[7].parse().ok()?,
         accuracy_std: f[8].parse().ok()?,
+    })
+}
+
+fn parse_rescue_step(s: &str) -> Option<RescueStep> {
+    let f: Vec<&str> = s.split(',').collect();
+    if f.len() != 4 {
+        return None;
+    }
+    Some(RescueStep {
+        window: f[0].parse().ok()?,
+        f_mhz: f[1].parse().ok()?,
+        vccint_mv: f[2].parse().ok()?,
+        events: f[3].parse().ok()?,
     })
 }
 
@@ -392,6 +466,33 @@ mod tests {
                 ],
                 settled_mv: 570.0,
             }),
+            CellOutcome::Degraded {
+                measurement: sample_measurement(3.0),
+                trace: RescueTrace {
+                    steps: vec![
+                        RescueStep {
+                            window: 0,
+                            f_mhz: 333.0,
+                            vccint_mv: 550.0,
+                            events: 12,
+                        },
+                        RescueStep {
+                            window: 1,
+                            f_mhz: 308.0,
+                            vccint_mv: 550.0,
+                            events: 0,
+                        },
+                    ],
+                    rescued: true,
+                },
+            },
+            CellOutcome::Degraded {
+                measurement: sample_measurement(4.0),
+                trace: RescueTrace {
+                    steps: Vec::new(),
+                    rescued: false,
+                },
+            },
             CellOutcome::Aborted {
                 cause: "panic: step_mv must be positive and finite".to_string(),
             },
@@ -421,6 +522,31 @@ mod tests {
         assert_eq!(plan_fingerprint(&mk(1, 8)), plan_fingerprint(&mk(1, 8)));
         assert_ne!(plan_fingerprint(&mk(1, 8)), plan_fingerprint(&mk(2, 8)));
         assert_ne!(plan_fingerprint(&mk(1, 8)), plan_fingerprint(&mk(1, 9)));
+    }
+
+    #[test]
+    fn fingerprint_partitions_defense_and_governor() {
+        use redvolt_nn::abft::DefenseMode;
+        let mk = |defense: DefenseMode, governor: bool| {
+            let mut plan = CampaignPlan::new(1);
+            plan.push(CellSpec {
+                config: AcceleratorConfig {
+                    defense,
+                    governor,
+                    ..AcceleratorConfig::tiny(BenchmarkId::VggNet)
+                },
+                action: CellAction::Measure {
+                    vccint_mv: Some(550.0),
+                    images: 8,
+                },
+                force_temp_c: None,
+            });
+            plan
+        };
+        let off = plan_fingerprint(&mk(DefenseMode::Off, false));
+        assert_ne!(off, plan_fingerprint(&mk(DefenseMode::Detect, false)));
+        assert_ne!(off, plan_fingerprint(&mk(DefenseMode::Correct, false)));
+        assert_ne!(off, plan_fingerprint(&mk(DefenseMode::Off, true)));
     }
 
     #[test]
@@ -471,5 +597,71 @@ mod tests {
         assert!(read_journal(&missing, meta).unwrap().is_empty());
 
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression for torn-tail recovery on the *writer* path: appending
+    /// to a journal whose final record was truncated mid-write used to
+    /// glue the fresh entry onto the fragment, producing one malformed
+    /// record that poisoned the *next* resume. Truncate the journal at
+    /// every byte offset of its last record and prove that resuming —
+    /// read, then append a replacement — always yields a clean journal.
+    #[test]
+    fn torn_tail_is_repaired_before_appending() {
+        let dir = std::env::temp_dir().join("redvolt-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let meta = "seed=7 fingerprint=00000000deadbeef";
+
+        let e0 = JournalEntry {
+            index: 0,
+            attempts: 1,
+            payload: encode_outcome(&CellOutcome::Measure(sample_measurement(0.0))),
+        };
+        let e1 = JournalEntry {
+            index: 1,
+            attempts: 2,
+            payload: encode_outcome(&CellOutcome::Measure(sample_measurement(1.0))),
+        };
+        let reference = {
+            let path = dir.join(format!("torn-ref-{}.journal", std::process::id()));
+            let mut w = JournalWriter::create(&path, meta).unwrap();
+            w.append(&e0).unwrap();
+            w.append(&e1).unwrap();
+            drop(w);
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            bytes
+        };
+        let last_record_start = reference[..reference.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .unwrap()
+            + 1;
+
+        for cut in last_record_start..reference.len() {
+            let path = dir.join(format!("torn-{}-{}.journal", std::process::id(), cut));
+            std::fs::write(&path, &reference[..cut]).unwrap();
+
+            // Resume: the torn record is invisible to the reader...
+            let entries = read_journal(&path, meta).unwrap();
+            assert_eq!(entries.len(), 1, "cut at {cut}");
+            assert_eq!(entries[&0], e0);
+
+            // ...and the writer drops it before appending, so the re-run
+            // cell's fresh record lands on a clean line.
+            let mut w = JournalWriter::append_to(&path).unwrap();
+            w.append(&e1).unwrap();
+            drop(w);
+
+            let recovered = read_journal(&path, meta).unwrap();
+            assert_eq!(recovered.len(), 2, "cut at {cut}");
+            assert_eq!(recovered[&0], e0);
+            assert_eq!(recovered[&1], e1, "cut at {cut}");
+            assert_eq!(
+                decode_outcome(&recovered[&1].payload),
+                Some(CellOutcome::Measure(sample_measurement(1.0))),
+                "cut at {cut}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
     }
 }

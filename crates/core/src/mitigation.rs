@@ -122,6 +122,67 @@ pub fn mitigation_study(
     Ok(MitigationStudy { points })
 }
 
+/// The escalation policy of the adaptive governor: where to move the
+/// operating point when the current one keeps producing SDC/ECC events.
+///
+/// The order follows the paper's mitigation axes. Frequency underscaling
+/// comes first (§5: a lower clock restores timing slack at the same
+/// voltage, and Table 2 shows 250 MHz rescuing every measured sub-Vmin
+/// point while keeping ≥ 75 % of nominal throughput — more in practice,
+/// since the DDR roofline caps the full-clock rate anyway). Only when the
+/// clock floor is reached does the governor back the voltage off toward
+/// the guardband, where fault rates vanish by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationLadder {
+    /// Clock decrement, MHz (the paper's 25 MHz reconfiguration grid).
+    pub f_step_mhz: f64,
+    /// Clock floor, MHz — below this the throughput band is violated.
+    pub f_floor_mhz: f64,
+    /// Voltage increment, mV, once the clock floor is reached.
+    pub v_step_mv: f64,
+    /// Voltage ceiling, mV (Vmin plus margin): reaching it means the
+    /// undervolting experiment has been fully backed out.
+    pub v_ceiling_mv: f64,
+}
+impl Default for MitigationLadder {
+    fn default() -> Self {
+        MitigationLadder {
+            f_step_mhz: 25.0,
+            f_floor_mhz: 250.0,
+            v_step_mv: 10.0,
+            v_ceiling_mv: 580.0,
+        }
+    }
+}
+
+/// The next rung of a [`MitigationLadder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LadderMove {
+    /// Underscale the clock to this frequency, MHz.
+    Underscale(f64),
+    /// Back the voltage off to this level, mV.
+    Backoff(f64),
+    /// Both axes exhausted: the point cannot be rescued within policy.
+    Exhausted,
+}
+
+impl MitigationLadder {
+    /// The move to try from the operating point `(f_mhz, vccint_mv)`.
+    /// Pure and total, so the escalation path is a deterministic function
+    /// of the starting point alone.
+    pub fn next(&self, f_mhz: f64, vccint_mv: f64) -> LadderMove {
+        let f_next = f_mhz - self.f_step_mhz;
+        if f_next >= self.f_floor_mhz - 1e-9 {
+            return LadderMove::Underscale(f_next);
+        }
+        let v_next = vccint_mv + self.v_step_mv;
+        if v_next <= self.v_ceiling_mv + 1e-9 {
+            return LadderMove::Backoff(v_next);
+        }
+        LadderMove::Exhausted
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +220,24 @@ mod tests {
         let first = s.points.first().unwrap();
         let last = s.points.last().unwrap();
         assert!(last.attempts_per_image > first.attempts_per_image);
+    }
+
+    #[test]
+    fn ladder_underscales_to_the_floor_then_backs_voltage_off() {
+        let ladder = MitigationLadder::default();
+        // From nominal clock the grid descends 333 -> 308 -> ... -> 258.
+        let mut f = 333.0;
+        let mut moves = 0;
+        while let LadderMove::Underscale(next) = ladder.next(f, 545.0) {
+            assert!(next >= ladder.f_floor_mhz);
+            assert!(next < f);
+            f = next;
+            moves += 1;
+        }
+        assert_eq!(moves, 3);
+        assert!((f - 258.0).abs() < 1e-9);
+        // Floor reached: voltage escalates toward the ceiling.
+        assert_eq!(ladder.next(f, 545.0), LadderMove::Backoff(555.0));
+        assert_eq!(ladder.next(f, 575.0), LadderMove::Exhausted);
     }
 }

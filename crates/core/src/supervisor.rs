@@ -126,6 +126,10 @@ pub struct SupervisedReport {
     pub resumed_cells: usize,
     /// Cells whose final outcome is [`CellOutcome::Aborted`].
     pub aborted_cells: usize,
+    /// Cells the adaptive governor settled at a degraded operating point
+    /// ([`CellOutcome::Degraded`]): the payload is clean, the commanded
+    /// point was not.
+    pub degraded_cells: usize,
     /// Freshly executed cells that needed more than one attempt.
     pub retried_cells: usize,
     /// Whether the run stopped early at [`SupervisorConfig::halt_after`].
@@ -178,7 +182,9 @@ fn is_retryable(err: &MeasureError) -> bool {
 
 /// What one watchdogged attempt produced.
 enum Attempt {
-    Done(Result<CellOutcome, MeasureError>, CellTelemetry),
+    // Boxed: `CellOutcome::Degraded` carries a full rescue trace, which
+    // would otherwise bloat every `Attempt` on the channel.
+    Done(Box<Result<CellOutcome, MeasureError>>, CellTelemetry),
     Panicked(String),
     DeadlineExceeded,
 }
@@ -197,7 +203,7 @@ fn run_attempt(spec: &CellSpec, wall_cap: Duration, cycle_budget: Option<u64>) -
         let _ = tx.send(result);
     });
     match rx.recv_timeout(wall_cap) {
-        Ok(Ok((result, telemetry))) => Attempt::Done(result, telemetry),
+        Ok(Ok((result, telemetry))) => Attempt::Done(Box::new(result), telemetry),
         Ok(Err(payload)) => Attempt::Panicked(panic_message(payload.as_ref())),
         Err(mpsc::RecvTimeoutError::Timeout) => Attempt::DeadlineExceeded,
         Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -270,23 +276,25 @@ fn supervise_cell(spec: &CellSpec, config: &SupervisorConfig) -> (CellOutcome, u
     let mut fold = CellFold::new();
     for attempt in 1..=max_attempts {
         match run_attempt(spec, config.wall_cap, config.cycle_budget) {
-            Attempt::Done(Ok(outcome), telemetry) => {
-                fold.fold(attempt, &telemetry);
-                return (outcome, attempt, fold.finish());
-            }
-            Attempt::Done(Err(err), telemetry) => {
-                fold.fold(attempt, &telemetry);
-                if is_retryable(&err) && attempt < max_attempts {
-                    fold.power_cycle();
-                    continue; // fresh bring-up = power cycle
+            Attempt::Done(result, telemetry) => match *result {
+                Ok(outcome) => {
+                    fold.fold(attempt, &telemetry);
+                    return (outcome, attempt, fold.finish());
                 }
-                let cause = if is_retryable(&err) {
-                    format!("retry budget exhausted after {attempt} attempts: {err}")
-                } else {
-                    format!("{err}")
-                };
-                return (CellOutcome::Aborted { cause }, attempt, fold.finish());
-            }
+                Err(err) => {
+                    fold.fold(attempt, &telemetry);
+                    if is_retryable(&err) && attempt < max_attempts {
+                        fold.power_cycle();
+                        continue; // fresh bring-up = power cycle
+                    }
+                    let cause = if is_retryable(&err) {
+                        format!("retry budget exhausted after {attempt} attempts: {err}")
+                    } else {
+                        format!("{err}")
+                    };
+                    return (CellOutcome::Aborted { cause }, attempt, fold.finish());
+                }
+            },
             Attempt::Panicked(msg) => {
                 // Panics are deterministic bugs, not operational flakes:
                 // retrying reproduces them, so abort immediately. The
@@ -468,6 +476,10 @@ pub fn run_supervised_observed(
         .iter()
         .filter(|r| matches!(r.outcome, CellOutcome::Aborted { .. }))
         .count();
+    let degraded_cells = results
+        .iter()
+        .filter(|r| matches!(r.outcome, CellOutcome::Degraded { .. }))
+        .count();
     let retried_cells = results.iter().filter(|r| r.attempts > 1).count();
     Ok(SupervisedReport {
         report: CampaignReport {
@@ -477,6 +489,7 @@ pub fn run_supervised_observed(
         },
         resumed_cells,
         aborted_cells,
+        degraded_cells,
         retried_cells,
         interrupted,
     })

@@ -59,6 +59,22 @@ pub struct CellTelemetry {
     pub vccbram_mv: f64,
     /// Final junction temperature, °C.
     pub junction_c: f64,
+    /// BRAM words whose single-bit upset SECDED corrected (all attempts).
+    pub ecc_corrected: u64,
+    /// BRAM words with a detectable-but-uncorrectable multi-bit pattern.
+    pub ecc_uncorrectable: u64,
+    /// ABFT checksum verifications executed.
+    pub abft_checks: u64,
+    /// ABFT checksum mismatches flagged.
+    pub abft_mismatches: u64,
+    /// Corrupted tiles re-executed under [`redvolt_nn::abft::DefenseMode::Correct`].
+    pub abft_reexecutions: u64,
+    /// Mismatches still present after the re-execution budget.
+    pub abft_unresolved: u64,
+    /// BRAM scrub passes completed.
+    pub scrub_passes: u64,
+    /// Latent corrected-on-read upsets retired by scrubbing.
+    pub scrub_retired: u64,
     /// Cell-local spans (ids self-consistent within the cell; empty for
     /// journal-rehydrated cells).
     pub spans: Vec<SpanRecord>,
@@ -78,6 +94,14 @@ impl CellTelemetry {
         self.vccint_mv = attempt.vccint_mv;
         self.vccbram_mv = attempt.vccbram_mv;
         self.junction_c = attempt.junction_c;
+        self.ecc_corrected += attempt.ecc_corrected;
+        self.ecc_uncorrectable += attempt.ecc_uncorrectable;
+        self.abft_checks += attempt.abft_checks;
+        self.abft_mismatches += attempt.abft_mismatches;
+        self.abft_reexecutions += attempt.abft_reexecutions;
+        self.abft_unresolved += attempt.abft_unresolved;
+        self.scrub_passes += attempt.scrub_passes;
+        self.scrub_retired += attempt.scrub_retired;
     }
 
     /// Encodes the scalar telemetry as a single space-free token for the
@@ -87,7 +111,7 @@ impl CellTelemetry {
     /// a resumed campaign's metrics match an uninterrupted run's.
     pub fn encode_compact(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{:?},{:?},{:?}",
+            "{},{},{},{},{},{},{},{},{},{:?},{:?},{:?},{},{},{},{},{},{},{},{}",
             self.cycles,
             self.dpu_faults,
             self.bus.retries,
@@ -100,16 +124,34 @@ impl CellTelemetry {
             self.vccint_mv,
             self.vccbram_mv,
             self.junction_c,
+            self.ecc_corrected,
+            self.ecc_uncorrectable,
+            self.abft_checks,
+            self.abft_mismatches,
+            self.abft_reexecutions,
+            self.abft_unresolved,
+            self.scrub_passes,
+            self.scrub_retired,
         )
     }
 
     /// Decodes [`CellTelemetry::encode_compact`]; `None` on any
     /// malformed blob (the caller treats the cell as telemetry-less).
+    /// Blobs written before the SDC-defense counters existed carry 12
+    /// fields instead of 20 and decode with zeroed defense counters, so
+    /// old journals stay resumable.
     pub fn decode_compact(blob: &str) -> Option<CellTelemetry> {
         let f: Vec<&str> = blob.split(',').collect();
-        if f.len() != 12 {
+        if f.len() != 12 && f.len() != 20 {
             return None;
         }
+        let defense = |i: usize| -> Option<u64> {
+            if f.len() == 12 {
+                Some(0)
+            } else {
+                f[i].parse().ok()
+            }
+        };
         Some(CellTelemetry {
             cycles: f[0].parse().ok()?,
             dpu_faults: f[1].parse().ok()?,
@@ -125,6 +167,14 @@ impl CellTelemetry {
             vccint_mv: f[9].parse().ok()?,
             vccbram_mv: f[10].parse().ok()?,
             junction_c: f[11].parse().ok()?,
+            ecc_corrected: defense(12)?,
+            ecc_uncorrectable: defense(13)?,
+            abft_checks: defense(14)?,
+            abft_mismatches: defense(15)?,
+            abft_reexecutions: defense(16)?,
+            abft_unresolved: defense(17)?,
+            scrub_passes: defense(18)?,
+            scrub_retired: defense(19)?,
             spans: Vec::new(),
         })
     }
@@ -184,6 +234,7 @@ impl CampaignTelemetry {
 
         let cells = registry.counter("redvolt_cells_total", &[]);
         let aborted = registry.counter("redvolt_cells_aborted_total", &[]);
+        let degraded = registry.counter("redvolt_cells_degraded_total", &[]);
         let retried = registry.counter("redvolt_cells_retried_total", &[]);
         let attempts = registry.counter("redvolt_attempts_total", &[]);
         let cycles = registry.counter("redvolt_dpu_cycles_total", &[]);
@@ -195,6 +246,14 @@ impl CampaignTelemetry {
         let bus_exhausted = registry.counter("redvolt_bus_exhausted_total", &[]);
         let bus_backoff = registry.counter("redvolt_bus_backoff_micros_total", &[]);
         let power_cycles = registry.counter("redvolt_power_cycles_total", &[]);
+        let ecc_corrected = registry.counter("redvolt_ecc_corrected_words_total", &[]);
+        let ecc_uncorrectable = registry.counter("redvolt_ecc_uncorrectable_words_total", &[]);
+        let abft_checks = registry.counter("redvolt_abft_checks_total", &[]);
+        let abft_mismatches = registry.counter("redvolt_abft_mismatches_total", &[]);
+        let abft_reexec = registry.counter("redvolt_abft_reexecutions_total", &[]);
+        let abft_unresolved = registry.counter("redvolt_abft_unresolved_total", &[]);
+        let scrub_passes = registry.counter("redvolt_scrub_passes_total", &[]);
+        let scrub_retired = registry.counter("redvolt_scrub_retired_upsets_total", &[]);
         let cell_cycles = registry.histogram("redvolt_cell_cycles", &[], &CELL_CYCLE_BOUNDS);
         let cell_attempts = registry.histogram("redvolt_cell_attempts", &[], &CELL_ATTEMPT_BOUNDS);
 
@@ -206,6 +265,9 @@ impl CampaignTelemetry {
             cells.inc();
             if matches!(r.outcome, CellOutcome::Aborted { .. }) {
                 aborted.inc();
+            }
+            if matches!(r.outcome, CellOutcome::Degraded { .. }) {
+                degraded.inc();
             }
             if r.attempts > 1 {
                 retried.inc();
@@ -220,6 +282,14 @@ impl CampaignTelemetry {
             bus_exhausted.add(t.bus.exhausted);
             bus_backoff.add(t.bus.backoff.as_micros() as u64);
             power_cycles.add(t.power_cycles);
+            ecc_corrected.add(t.ecc_corrected);
+            ecc_uncorrectable.add(t.ecc_uncorrectable);
+            abft_checks.add(t.abft_checks);
+            abft_mismatches.add(t.abft_mismatches);
+            abft_reexec.add(t.abft_reexecutions);
+            abft_unresolved.add(t.abft_unresolved);
+            scrub_passes.add(t.scrub_passes);
+            scrub_retired.add(t.scrub_retired);
             cell_cycles.observe(t.cycles as f64);
             cell_attempts.observe(f64::from(r.attempts));
 
@@ -330,6 +400,50 @@ pub fn bus_stats_table(report: &CampaignReport) -> Table {
     t
 }
 
+/// The SDC-defense summary the `repro` binary appends when a defense is
+/// armed: what ECC, ABFT and the scrubber absorbed, plus how many cells
+/// the governor settled at a degraded operating point. Integer-only and
+/// journal-round-tripped, like [`bus_stats_table`].
+pub fn defense_stats_table(report: &CampaignReport) -> Table {
+    let mut sum = CellTelemetry::default();
+    let mut degraded = 0u64;
+    for r in &report.results {
+        sum.merge_attempt(&r.telemetry);
+        if matches!(r.outcome, CellOutcome::Degraded { .. }) {
+            degraded += 1;
+        }
+    }
+    let mut t = Table::new("SDC defense", &["Metric", "Total"]);
+    t.row(&[
+        "ECC corrected words".to_string(),
+        sum.ecc_corrected.to_string(),
+    ]);
+    t.row(&[
+        "ECC uncorrectable words".to_string(),
+        sum.ecc_uncorrectable.to_string(),
+    ]);
+    t.row(&["ABFT checks".to_string(), sum.abft_checks.to_string()]);
+    t.row(&[
+        "ABFT mismatches".to_string(),
+        sum.abft_mismatches.to_string(),
+    ]);
+    t.row(&[
+        "ABFT re-executions".to_string(),
+        sum.abft_reexecutions.to_string(),
+    ]);
+    t.row(&[
+        "ABFT unresolved".to_string(),
+        sum.abft_unresolved.to_string(),
+    ]);
+    t.row(&["scrub passes".to_string(), sum.scrub_passes.to_string()]);
+    t.row(&[
+        "scrub retired upsets".to_string(),
+        sum.scrub_retired.to_string(),
+    ]);
+    t.row(&["cells degraded".to_string(), degraded.to_string()]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +464,14 @@ mod tests {
             vccint_mv: 572.5,
             vccbram_mv: 850.0,
             junction_c: 41.25,
+            ecc_corrected: 11,
+            ecc_uncorrectable: 2,
+            abft_checks: 96,
+            abft_mismatches: 5,
+            abft_reexecutions: 4,
+            abft_unresolved: 1,
+            scrub_passes: 6,
+            scrub_retired: 9,
             spans: Vec::new(),
         }
     }
@@ -390,5 +512,25 @@ mod tests {
         assert_eq!(total.cycles, 2 * 123_456_789);
         assert_eq!(total.bus.retries, 14);
         assert_eq!(total.vccint_mv, 572.5, "gauge from the final attempt");
+        assert_eq!(total.ecc_corrected, 22);
+        assert_eq!(total.abft_unresolved, 2);
+        assert_eq!(total.scrub_retired, 18);
+    }
+
+    #[test]
+    fn legacy_12_field_blob_decodes_with_zeroed_defense_counters() {
+        let t = sample_telem();
+        let blob = t.encode_compact();
+        let legacy: String = blob.split(',').take(12).collect::<Vec<_>>().join(",");
+        let decoded = CellTelemetry::decode_compact(&legacy).expect("legacy blob must decode");
+        assert_eq!(decoded.cycles, t.cycles);
+        assert_eq!(decoded.bus, t.bus);
+        assert_eq!(decoded.ecc_corrected, 0);
+        assert_eq!(decoded.abft_checks, 0);
+        assert_eq!(decoded.scrub_passes, 0);
+        // Any other field count is rejected outright.
+        assert_eq!(CellTelemetry::decode_compact("1,2,3"), None);
+        let thirteen: String = blob.split(',').take(13).collect::<Vec<_>>().join(",");
+        assert_eq!(CellTelemetry::decode_compact(&thirteen), None);
     }
 }

@@ -13,10 +13,13 @@ use crate::compiler::{self, CompileError};
 use crate::engine::{self, Timing, DEFAULT_CORES};
 use crate::isa::DpuKernel;
 use redvolt_faults::board_injector;
+use redvolt_faults::ecc::{EccInjector, EccStats};
 use redvolt_faults::model::DENSE_CRASH_SLACK_RATIO;
 use redvolt_fpga::board::Zcu102Board;
 use redvolt_fpga::calib::F_NOM_MHZ;
+use redvolt_fpga::ecc::Scrubber;
 use redvolt_fpga::power::LoadProfile;
+use redvolt_nn::abft::{DefensePolicy, DefenseStats};
 use redvolt_nn::graph::{Graph, GraphError};
 use redvolt_nn::quant::QuantizedGraph;
 use redvolt_nn::tensor::Tensor;
@@ -157,8 +160,15 @@ pub struct BatchResult {
     pub on_chip_power_w: f64,
     /// Junction temperature during the run, °C.
     pub junction_c: f64,
-    /// Transient bit flips injected during the batch.
+    /// Transient bit flips actually delivered into the datapath during
+    /// the batch (after any ECC correction).
     pub injected_faults: u64,
+    /// ECC events for this batch (weight/activation upsets seen by the
+    /// SECDED layer).
+    pub ecc: EccStats,
+    /// ABFT events for this batch (checksum checks, mismatches,
+    /// re-executions, unresolved corruption).
+    pub defense: DefenseStats,
 }
 
 /// Result of a Razor-mitigated batch run.
@@ -185,6 +195,10 @@ pub struct DpuRuntime {
     cycles_run: u64,
     cycle_budget: Option<u64>,
     faults_observed: u64,
+    defense: DefensePolicy,
+    scrubber: Scrubber,
+    ecc_total: EccStats,
+    defense_total: DefenseStats,
 }
 
 impl DpuRuntime {
@@ -198,7 +212,38 @@ impl DpuRuntime {
             cycles_run: 0,
             cycle_budget: None,
             faults_observed: 0,
+            defense: DefensePolicy::off(),
+            scrubber: Scrubber::default(),
+            ecc_total: EccStats::default(),
+            defense_total: DefenseStats::default(),
         }
+    }
+
+    /// Sets the SDC defense policy for subsequent batches: ECC filtering
+    /// of weight/activation upsets plus ABFT checksums in the executor.
+    /// [`DefensePolicy::off`] restores the exact undefended path.
+    pub fn set_defense(&mut self, policy: DefensePolicy) {
+        self.defense = policy;
+    }
+
+    /// The active defense policy.
+    pub fn defense(&self) -> DefensePolicy {
+        self.defense
+    }
+
+    /// Cumulative ECC events across every batch this runtime executed.
+    pub fn ecc_stats(&self) -> EccStats {
+        self.ecc_total
+    }
+
+    /// Cumulative ABFT events across every batch this runtime executed.
+    pub fn defense_stats(&self) -> DefenseStats {
+        self.defense_total
+    }
+
+    /// The BRAM scrubbing task (latent-upset and pass counters).
+    pub fn scrubber(&self) -> &Scrubber {
+        &self.scrubber
     }
 
     /// Installs (or clears) a simulated-cycle budget: once the cumulative
@@ -360,19 +405,41 @@ impl DpuRuntime {
         if self.board.is_crashed() {
             return Err(RunError::BoardCrashed);
         }
-        let mut injector = board_injector(&self.board, seed);
+        let mut injector = EccInjector::new(board_injector(&self.board, seed), self.defense.mode);
+        task.qgraph.set_defense(self.defense);
         let mut predictions = Vec::with_capacity(images.len());
-        for img in images {
-            self.charge_cycles(task.kernel.total_cycles())?;
-            predictions.push(task.qgraph.predict_with(img, &mut injector)?);
-        }
-        self.faults_observed += injector.injected_count();
+        let mut run = || -> Result<(), RunError> {
+            for img in images {
+                self.charge_cycles(task.kernel.total_cycles())?;
+                predictions.push(task.qgraph.predict_with(img, &mut injector)?);
+            }
+            Ok(())
+        };
+        let outcome = run();
+        // Account defense events even when the budget tripped mid-batch.
+        let ecc = injector.stats();
+        let defense = task.qgraph.take_defense_stats();
+        task.qgraph.set_defense(DefensePolicy::off());
+        self.ecc_total.merge(&ecc);
+        self.defense_total.merge(&defense);
+        self.scrubber.record_latent(injector.take_latent());
+        self.scrubber.tick(
+            task.kernel
+                .total_cycles()
+                .saturating_mul(images.len() as u64),
+        );
+        // Flips that ECC corrected never reached the datapath.
+        let delivered = injector.into_inner().injected_count() - ecc.dropped_flips;
+        self.faults_observed += delivered;
+        outcome?;
         Ok(BatchResult {
             predictions,
             timing,
             on_chip_power_w: self.board.on_chip_power_w(),
             junction_c: self.board.junction_c(),
-            injected_faults: injector.injected_count(),
+            injected_faults: delivered,
+            ecc,
+            defense,
         })
     }
 }
@@ -537,6 +604,40 @@ mod tests {
         // Clearing the budget restores service.
         rt.set_cycle_budget(None);
         assert!(rt.run_batch(&mut task, &images, 1).is_ok());
+    }
+
+    #[test]
+    fn defended_run_counts_events_and_rescues_when_resolved() {
+        let (mut rt, mut task, images) = setup();
+        let clean = rt.run_batch(&mut task, &images, 1).unwrap().predictions;
+        let mut host = PmbusAdapter::new();
+        host.set_vout(rt.board_mut(), 0x13, 0.542).unwrap();
+        let undefended = rt.run_batch(&mut task, &images, 1).unwrap();
+        assert!(undefended.injected_faults > 0, "expected faults at 542 mV");
+        assert_eq!(undefended.ecc, EccStats::default());
+        assert_eq!(undefended.defense, DefenseStats::default());
+
+        rt.set_defense(DefensePolicy::correct());
+        let defended = rt.run_batch(&mut task, &images, 1).unwrap();
+        assert!(defended.defense.checks > 0, "ABFT must have run");
+        assert!(
+            defended.defense.mismatches > 0,
+            "542 mV faults must be detected: {:?}",
+            defended.defense
+        );
+        // The zero-silent-corruption contract: if every mismatch resolved,
+        // the defended predictions are the clean ones.
+        if defended.defense.clean() {
+            assert_eq!(defended.predictions, clean);
+        }
+        // Runtime-cumulative counters fold both batches.
+        assert_eq!(rt.defense_stats(), defended.defense);
+        assert_eq!(rt.ecc_stats(), defended.ecc);
+        // Back off: the policy does not leak into later undefended runs.
+        rt.set_defense(DefensePolicy::off());
+        let again = rt.run_batch(&mut task, &images, 1).unwrap();
+        assert_eq!(again.predictions, undefended.predictions);
+        assert_eq!(again.defense, DefenseStats::default());
     }
 
     #[test]

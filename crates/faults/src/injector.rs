@@ -112,9 +112,7 @@ impl SlackFaultInjector {
                 .next_bounded_u32(max_burst_log2 - BURST_LOG2_MIN + 1)
                 .saturating_add(BURST_LOG2_MIN);
         let bit = bit_lo + self.rng.next_bounded_u32(bit_hi - bit_lo);
-        for i in start..(start + burst_len).min(len) {
-            out.push(BitFlip { index: i, bit });
-        }
+        push_wrapped_burst(start, burst_len, len, bit, out);
     }
 }
 
@@ -169,12 +167,32 @@ impl FaultInjector for SlackFaultInjector {
         for _ in 0..n {
             let start = self.rng.next_index(len);
             let bit = self.rng.next_bounded_u32(bits);
-            for i in start..(start + ACT_BURST).min(len) {
-                flips.push(BitFlip { index: i, bit });
-            }
+            push_wrapped_burst(start, ACT_BURST, len, bit, &mut flips);
         }
         self.injected += flips.len() as u64;
         flips
+    }
+}
+
+/// Emits one burst of flips starting at `start`, wrapping past the buffer
+/// end back to index 0 instead of dropping the overflow: the failing lane
+/// keeps streaming from the start of the buffer, so the tail of the burst
+/// lands there. The burst is capped at `len` distinct indices (a longer
+/// burst would revisit sites, and XOR-applied revisits cancel, which would
+/// make `injected_count` overstate the corrupted sites). Bursts that fit
+/// entirely in-bounds are emitted exactly as before the wrap fix.
+fn push_wrapped_burst(
+    start: usize,
+    burst_len: usize,
+    len: usize,
+    bit: u32,
+    out: &mut Vec<BitFlip>,
+) {
+    for i in 0..burst_len.min(len) {
+        out.push(BitFlip {
+            index: (start + i) % len,
+            bit,
+        });
     }
 }
 
@@ -291,7 +309,9 @@ mod tests {
                 // Same bit, consecutive indices within an event's run.
                 let bit = plan[0].bit;
                 assert!((ACC_FAULT_BIT_LO..ACC_FAULT_BIT_HI).contains(&bit));
-                assert_eq!(plan[1].index, plan[0].index + 1);
+                // Consecutive within the run, modulo the buffer length
+                // (a burst starting at the last index wraps to 0).
+                assert_eq!(plan[1].index, (plan[0].index + 1) % 10_000);
             }
             for f in &plan {
                 assert!(f.index < 10_000);
@@ -302,17 +322,40 @@ mod tests {
 
     #[test]
     fn bursts_clip_at_buffer_end() {
+        // Historically flips past the buffer end were silently dropped,
+        // which made `injected_count` overstate the corruption the model
+        // actually applied. Bursts now wrap deterministically: every flip
+        // stays in bounds, an event's flips are distinct sites, and the
+        // count matches the emitted plan exactly.
         let rates = FaultRates {
             per_mac: 1.0, // guarantee events
             per_weight: 0.0,
             per_activation: 0.0,
         };
         let mut inj = SlackFaultInjector::new(rates, 5);
+        let mut total = 0u64;
+        let mut saw_wrap = false;
         for _ in 0..50 {
-            for f in inj.plan_accumulator_faults("l", 20, 1) {
-                assert!(f.index < 20);
+            // A 10-element buffer is smaller than the minimum burst, so
+            // every event wraps into exactly one full cover of the buffer
+            // — which also means plan chunks align with events.
+            let plan = inj.plan_accumulator_faults("l", 10, 1);
+            total += plan.len() as u64;
+            assert_eq!(plan.len() % 10, 0, "events must cover the buffer");
+            for event in plan.chunks(10) {
+                let mut seen = [false; 10];
+                for f in event {
+                    assert!(f.index < 10);
+                    if f.index < event[0].index {
+                        saw_wrap = true;
+                    }
+                    assert!(!seen[f.index], "event revisits index {}", f.index);
+                    seen[f.index] = true;
+                }
             }
         }
+        assert_eq!(inj.injected_count(), total, "count must match the plan");
+        assert!(saw_wrap, "expected at least one wrapped burst");
     }
 
     #[test]

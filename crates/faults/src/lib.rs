@@ -12,6 +12,9 @@
 //! faults (NACKs, timeouts, read bit flips) on the *control plane*, which
 //! the host adapter's retry/verify policy must absorb.
 //!
+//! [`ecc`] layers the board's built-in SECDED(72,64) BRAM protection over
+//! weight/activation fault plans — the first stage of the SDC defense.
+//!
 //! # Examples
 //!
 //! ```
@@ -27,6 +30,7 @@
 //! ```
 
 pub mod bus;
+pub mod ecc;
 pub mod injector;
 pub mod model;
 

@@ -18,6 +18,8 @@
 //! * [`board`] — [`board::Zcu102Board`], the stateful board with PMBus
 //!   front-end and crash latch.
 //! * [`calib`] — every calibration constant, with provenance.
+//! * [`ecc`] — the built-in SECDED(72,64) BRAM code (§4.1's reason BRAM
+//!   survives deep undervolting) and the periodic scrubbing task.
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@
 
 pub mod board;
 pub mod calib;
+pub mod ecc;
 pub mod power;
 pub mod rails;
 pub mod resources;

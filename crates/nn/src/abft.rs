@@ -1,0 +1,581 @@
+//! Algorithm-based fault tolerance (ABFT) for the inference kernels.
+//!
+//! Below Vmin the DPU keeps answering but silently corrupts results — the
+//! paper's central hazard. This module supplies the detection layer of the
+//! SDC defense stack:
+//!
+//! * [`DefenseMode`] / [`DefensePolicy`] — the knob the `--defense` flag
+//!   maps onto. `Off` leaves every execution path bit-identical to the
+//!   undefended kernels; `Detect` computes checksums and counts
+//!   mismatches; `Correct` additionally re-executes a corrupted layer (a
+//!   bounded number of times) before giving up.
+//! * [`IntChecksum`] — dual row/column-style checksums over the integer
+//!   path: a plain wrapping sum plus a position-weighted sum. A single
+//!   high-bit accumulator flip perturbs both; a pair of flips that cancels
+//!   in the plain sum (one `0→1`, one `1→0` of the same bit — exactly
+//!   what a correlated same-bit burst produces) still perturbs the
+//!   weighted sum, because the two sites carry different weights.
+//! * [`kahan_sum`] and [`FloatAbft`] — checksum-channel ABFT for the f32
+//!   path: for `C = W ∗ x` the column-sum identity
+//!   `Σ_oc C[·, oc] = (Σ_oc W[oc]) ∗ x + Σ_oc b[oc]` is verified per
+//!   output position with a Kahan-compensated channel sum and a
+//!   rounding-aware tolerance. The checksum channel costs one extra
+//!   output channel — `1/out_ch` of the layer, not a re-execution.
+//!
+//! The integer checksums are *temporal* (before/after the fault-injection
+//! points inside one execution); weight-read corruption is detected by the
+//! precomputed-checksum-column model: any surviving weight flip is
+//! reported by construction, since a real ABFT weight checksum row is
+//! computed offline from clean weights. Checksum aliasing (a fault
+//! pattern that preserves both sums) is possible in principle, as in real
+//! ABFT, but requires simultaneous cancellation in two differently
+//! weighted sums.
+
+use crate::graph::{ConvParams, Graph, Op};
+use crate::kernels;
+use crate::tensor::Tensor;
+
+/// How aggressively the inference path defends against silent data
+/// corruption. Maps 1:1 onto the `--defense` CLI flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DefenseMode {
+    /// No checksums at all; the execution path is bit-identical to the
+    /// undefended kernels.
+    #[default]
+    Off,
+    /// Compute and verify checksums, count mismatches, but deliver the
+    /// (possibly corrupt) result unchanged — monitoring mode.
+    Detect,
+    /// Detect and re-execute corrupted layers (bounded retries); ECC
+    /// drops correctable weight/activation upsets upstream.
+    Correct,
+}
+
+impl DefenseMode {
+    /// Parses the CLI spelling (`off` / `detect` / `correct`).
+    pub fn parse(s: &str) -> Option<DefenseMode> {
+        match s {
+            "off" => Some(DefenseMode::Off),
+            "detect" => Some(DefenseMode::Detect),
+            "correct" => Some(DefenseMode::Correct),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefenseMode::Off => "off",
+            DefenseMode::Detect => "detect",
+            DefenseMode::Correct => "correct",
+        }
+    }
+
+    /// Whether any checksum work happens at all.
+    pub fn is_on(self) -> bool {
+        self != DefenseMode::Off
+    }
+}
+
+/// The defense configuration carried by an executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefensePolicy {
+    /// Defense mode.
+    pub mode: DefenseMode,
+    /// Re-executions allowed per checksum stage per layer under
+    /// [`DefenseMode::Correct`] before the mismatch is declared
+    /// unresolved.
+    pub max_reexecutions: u32,
+}
+
+/// Default re-execution budget: two retries covers the overwhelming
+/// majority of transient upsets without letting a persistently faulting
+/// operating point spin.
+pub const DEFAULT_MAX_REEXECUTIONS: u32 = 2;
+
+impl Default for DefensePolicy {
+    fn default() -> Self {
+        DefensePolicy::off()
+    }
+}
+
+impl DefensePolicy {
+    /// No defense (the undefended fast path).
+    pub fn off() -> Self {
+        DefensePolicy {
+            mode: DefenseMode::Off,
+            max_reexecutions: 0,
+        }
+    }
+
+    /// Detection-only monitoring.
+    pub fn detect() -> Self {
+        DefensePolicy {
+            mode: DefenseMode::Detect,
+            max_reexecutions: 0,
+        }
+    }
+
+    /// Detect + re-execute with the default retry budget.
+    pub fn correct() -> Self {
+        DefensePolicy {
+            mode: DefenseMode::Correct,
+            max_reexecutions: DEFAULT_MAX_REEXECUTIONS,
+        }
+    }
+
+    /// Builds the policy for a mode with the default budgets.
+    pub fn for_mode(mode: DefenseMode) -> Self {
+        match mode {
+            DefenseMode::Off => DefensePolicy::off(),
+            DefenseMode::Detect => DefensePolicy::detect(),
+            DefenseMode::Correct => DefensePolicy::correct(),
+        }
+    }
+
+    /// Whether checksum work happens.
+    pub fn is_on(&self) -> bool {
+        self.mode.is_on()
+    }
+
+    /// Re-executions permitted per checksum stage.
+    pub fn reexec_budget(&self) -> u32 {
+        if self.mode == DefenseMode::Correct {
+            self.max_reexecutions
+        } else {
+            0
+        }
+    }
+}
+
+/// ABFT event counters, accumulated across inferences.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefenseStats {
+    /// Checksum verifications performed.
+    pub checks: u64,
+    /// Verifications that flagged a corrupted tile.
+    pub mismatches: u64,
+    /// Layer re-executions triggered by mismatches.
+    pub reexecutions: u64,
+    /// Mismatches still present after the re-execution budget — the
+    /// corruption the governor must escalate on.
+    pub unresolved: u64,
+}
+
+impl DefenseStats {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &DefenseStats) {
+        self.checks += other.checks;
+        self.mismatches += other.mismatches;
+        self.reexecutions += other.reexecutions;
+        self.unresolved += other.unresolved;
+    }
+
+    /// True when every detected mismatch was resolved.
+    pub fn clean(&self) -> bool {
+        self.unresolved == 0
+    }
+}
+
+/// Dual checksum over an integer buffer: plain sum and position-weighted
+/// sum, both wrapping. See the module docs for why one sum is not enough
+/// under correlated same-bit bursts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntChecksum {
+    /// Wrapping sum of elements.
+    pub sum: i64,
+    /// Wrapping sum of `(index + 1) * element`.
+    pub weighted: i64,
+}
+
+impl IntChecksum {
+    /// Checksums raw 32-bit accumulators.
+    pub fn of_acc(acc: &[i32]) -> IntChecksum {
+        let mut sum = 0i64;
+        let mut weighted = 0i64;
+        for (i, &v) in acc.iter().enumerate() {
+            let v = i64::from(v);
+            sum = sum.wrapping_add(v);
+            weighted = weighted.wrapping_add(v.wrapping_mul(i as i64 + 1));
+        }
+        IntChecksum { sum, weighted }
+    }
+
+    /// Checksums quantized activation codes.
+    pub fn of_codes(codes: &[i8]) -> IntChecksum {
+        let mut sum = 0i64;
+        let mut weighted = 0i64;
+        for (i, &v) in codes.iter().enumerate() {
+            let v = i64::from(v);
+            sum = sum.wrapping_add(v);
+            weighted = weighted.wrapping_add(v.wrapping_mul(i as i64 + 1));
+        }
+        IntChecksum { sum, weighted }
+    }
+}
+
+/// Kahan-compensated sum — keeps the float checksum's own rounding error
+/// at O(ε) instead of O(nε) so the verification tolerance can stay tight.
+pub fn kahan_sum(xs: impl IntoIterator<Item = f32>) -> f32 {
+    let mut s = 0.0f32;
+    let mut c = 0.0f32;
+    for x in xs {
+        let y = x - c;
+        let t = s + y;
+        c = (t - s) - y;
+        s = t;
+    }
+    s
+}
+
+/// Rounding-aware tolerance for comparing a Kahan channel sum against the
+/// checksum-channel result: `ε`-scaled by the accumulation length and the
+/// observed amplitude. A real fault flips a high accumulator or mantissa
+/// bit and lands orders of magnitude outside this band.
+pub fn float_tolerance(terms: usize, amplitude: f32) -> f32 {
+    64.0 * f32::EPSILON * ((terms.max(1)) as f32).sqrt() * amplitude.max(1.0)
+}
+
+/// Per-layer precomputed checksum vectors for the float path.
+#[derive(Debug, Clone)]
+enum LayerCheck {
+    /// Node needs no verification (pools, adds, softmax, …).
+    None,
+    /// Conv layer: channel-summed kernel and bias.
+    Conv {
+        params: ConvParams,
+        wsum: Vec<f32>,
+        bias_sum: f32,
+    },
+    /// Dense layer: output-summed weight row and bias.
+    Dense {
+        relu: bool,
+        wsum: Vec<f32>,
+        bias_sum: f32,
+    },
+}
+
+/// Verification report for one defended float forward pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FloatAbftReport {
+    /// Conv/dense layers verified.
+    pub layers_checked: u64,
+    /// Output positions whose channel sum was verified.
+    pub positions_checked: u64,
+    /// Positions skipped because a fused ReLU clamped a channel there
+    /// (the linear checksum identity does not hold through the clamp).
+    pub positions_skipped: u64,
+    /// Positions whose channel sum disagreed with the checksum channel
+    /// beyond tolerance.
+    pub mismatches: u64,
+}
+
+impl FloatAbftReport {
+    /// True when no corrupted tile was flagged.
+    pub fn clean(&self) -> bool {
+        self.mismatches == 0
+    }
+}
+
+/// Checksum-channel ABFT for the float executor.
+///
+/// [`FloatAbft::prepare`] folds every conv/dense layer's weights into a
+/// single checksum channel offline; [`FloatAbft::verify`] then checks a
+/// finished forward pass (`Graph::forward_all_into` outputs) against the
+/// column-sum identity at each output position, skipping positions where
+/// a fused ReLU clamped a channel (linearity broken there).
+#[derive(Debug, Clone)]
+pub struct FloatAbft {
+    layers: Vec<LayerCheck>,
+    /// Scratch for the checksum-channel convolution.
+    expected: Vec<f32>,
+}
+
+impl FloatAbft {
+    /// Precomputes the checksum vectors for every conv/dense layer of
+    /// `graph`.
+    pub fn prepare(graph: &Graph) -> FloatAbft {
+        let layers = graph
+            .nodes()
+            .iter()
+            .map(|node| match &node.op {
+                Op::Conv {
+                    params,
+                    weights,
+                    bias,
+                } => {
+                    let k2ic = params.k * params.k * params.in_ch;
+                    let mut wsum = vec![0.0f32; k2ic];
+                    for oc in 0..params.out_ch {
+                        for (s, &w) in wsum.iter_mut().zip(&weights[oc * k2ic..(oc + 1) * k2ic]) {
+                            *s += w;
+                        }
+                    }
+                    LayerCheck::Conv {
+                        params: *params,
+                        wsum,
+                        bias_sum: kahan_sum(bias.iter().copied()),
+                    }
+                }
+                Op::Dense {
+                    in_len,
+                    out_len,
+                    relu,
+                    weights,
+                    bias,
+                } => {
+                    let mut wsum = vec![0.0f32; *in_len];
+                    for o in 0..*out_len {
+                        for (s, &w) in wsum.iter_mut().zip(&weights[o * in_len..(o + 1) * in_len]) {
+                            *s += w;
+                        }
+                    }
+                    LayerCheck::Dense {
+                        relu: *relu,
+                        wsum,
+                        bias_sum: kahan_sum(bias.iter().copied()),
+                    }
+                }
+                _ => LayerCheck::None,
+            })
+            .collect();
+        FloatAbft {
+            layers,
+            expected: Vec::new(),
+        }
+    }
+
+    /// Verifies a completed forward pass (`outs` as produced by
+    /// [`Graph::forward_all_into`]) against the checksum channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outs` does not match the graph this ABFT was prepared
+    /// for.
+    pub fn verify(
+        &mut self,
+        graph: &Graph,
+        outs: &[Tensor],
+        ks: &mut kernels::Scratch,
+    ) -> FloatAbftReport {
+        assert_eq!(outs.len(), self.layers.len(), "outs/graph mismatch");
+        let mut report = FloatAbftReport::default();
+        for (id, check) in self.layers.iter().enumerate() {
+            let node = &graph.nodes()[id];
+            match check {
+                LayerCheck::None => {}
+                LayerCheck::Conv {
+                    params,
+                    wsum,
+                    bias_sum,
+                } => {
+                    let input = &outs[node.inputs[0]];
+                    let (oh, ow) = params.out_hw(input.h(), input.w());
+                    let mut p1 = *params;
+                    p1.out_ch = 1;
+                    p1.relu = false;
+                    self.expected.clear();
+                    self.expected.resize(oh * ow, 0.0);
+                    kernels::conv2d_f32_into(
+                        input,
+                        &p1,
+                        wsum,
+                        &[*bias_sum],
+                        ks,
+                        &mut self.expected,
+                    );
+                    report.layers_checked += 1;
+                    let out = outs[id].data();
+                    let c = params.out_ch;
+                    let macs = params.k * params.k * params.in_ch;
+                    for (pos, &expected) in self.expected.iter().enumerate() {
+                        let channels = &out[pos * c..(pos + 1) * c];
+                        if params.relu && channels.contains(&0.0) {
+                            report.positions_skipped += 1;
+                            continue;
+                        }
+                        verify_position(expected, channels, macs, &mut report);
+                    }
+                }
+                LayerCheck::Dense {
+                    relu,
+                    wsum,
+                    bias_sum,
+                } => {
+                    let input = outs[node.inputs[0]].data();
+                    let out = outs[id].data();
+                    report.layers_checked += 1;
+                    if *relu && out.contains(&0.0) {
+                        report.positions_skipped += 1;
+                        continue;
+                    }
+                    let expected =
+                        bias_sum + kahan_sum(input.iter().zip(wsum.iter()).map(|(&a, &b)| a * b));
+                    verify_position(expected, out, input.len(), &mut report);
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Compares one output position's Kahan channel sum against the checksum
+/// channel within the rounding tolerance.
+fn verify_position(expected: f32, channels: &[f32], macs: usize, report: &mut FloatAbftReport) {
+    let actual = kahan_sum(channels.iter().copied());
+    let amplitude = channels
+        .iter()
+        .map(|v| v.abs())
+        .fold(expected.abs(), f32::max);
+    report.positions_checked += 1;
+    if (actual - expected).abs() > float_tolerance(macs * channels.len().max(1), amplitude) {
+        report.mismatches += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn defense_mode_parses_cli_spellings() {
+        for mode in [DefenseMode::Off, DefenseMode::Detect, DefenseMode::Correct] {
+            assert_eq!(DefenseMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(DefenseMode::parse("banana"), None);
+        assert!(!DefenseMode::Off.is_on());
+        assert!(DefenseMode::Detect.is_on());
+        assert_eq!(DefensePolicy::detect().reexec_budget(), 0);
+        assert_eq!(
+            DefensePolicy::correct().reexec_budget(),
+            DEFAULT_MAX_REEXECUTIONS
+        );
+    }
+
+    #[test]
+    fn int_checksum_catches_single_high_bit_flip() {
+        let mut acc: Vec<i32> = (0..64).map(|i| i * 3 - 17).collect();
+        let clean = IntChecksum::of_acc(&acc);
+        acc[13] ^= 1 << 20;
+        assert_ne!(IntChecksum::of_acc(&acc), clean);
+    }
+
+    #[test]
+    fn weighted_sum_catches_sum_cancelling_burst_pair() {
+        // A same-bit burst that flips 0→1 at one site and 1→0 at another
+        // leaves the plain sum unchanged; the weighted sum still moves.
+        let mut acc = vec![0i32; 32];
+        acc[7] = 1 << 20; // 1→0 under XOR
+        let clean = IntChecksum::of_acc(&acc);
+        acc[6] ^= 1 << 20; // +2^20
+        acc[7] ^= 1 << 20; // -2^20
+        let faulty = IntChecksum::of_acc(&acc);
+        assert_eq!(faulty.sum, clean.sum, "plain sum aliases by construction");
+        assert_ne!(faulty.weighted, clean.weighted);
+    }
+
+    #[test]
+    fn code_checksum_detects_activation_flip() {
+        let mut codes: Vec<i8> = (0..100).map(|i| (i % 13 - 6) as i8).collect();
+        let clean = IntChecksum::of_codes(&codes);
+        codes[42] ^= 0x40;
+        assert_ne!(IntChecksum::of_codes(&codes), clean);
+    }
+
+    #[test]
+    fn kahan_sum_is_exact_on_adversarial_cancellation() {
+        // 1.0 followed by many tiny values that a naive f32 sum drops.
+        let xs: Vec<f32> = std::iter::once(1.0e8f32)
+            .chain(std::iter::repeat_n(1.0f32, 1000))
+            .collect();
+        let naive: f32 = xs.iter().sum();
+        let kahan = kahan_sum(xs.iter().copied());
+        assert_eq!(kahan, 1.0e8 + 1000.0);
+        assert_ne!(naive, kahan, "test must exercise the compensation");
+    }
+
+    fn tiny_graph() -> crate::graph::Graph {
+        let mut b = GraphBuilder::new();
+        let input = b.input(6, 6, 3);
+        let params = ConvParams {
+            in_ch: 3,
+            out_ch: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        };
+        let weights: Vec<f32> = (0..params.weight_count())
+            .map(|i| ((i % 17) as f32 - 8.0) * 0.05)
+            .collect();
+        // Large positive bias keeps every pre-activation above zero so
+        // ReLU never clamps and every position is verifiable.
+        let conv = b.conv("c1", input, params, weights, vec![5.0; 4]);
+        let dn = 6 * 6 * 4;
+        let dweights: Vec<f32> = (0..dn * 5)
+            .map(|i| ((i % 11) as f32 - 5.0) * 0.01)
+            .collect();
+        let dense = b.dense("fc", conv, 5, false, dweights, vec![0.1; 5]);
+        b.finish(dense)
+    }
+
+    #[test]
+    fn float_abft_accepts_clean_forward_pass() {
+        let g = tiny_graph();
+        let img = Tensor::from_vec(6, 6, 3, (0..108).map(|i| (i as f32) * 0.01).collect());
+        let mut outs = Vec::new();
+        let mut ks = kernels::Scratch::new();
+        g.forward_all_into(&img, &mut outs, &mut ks).unwrap();
+        let mut abft = FloatAbft::prepare(&g);
+        let report = abft.verify(&g, &outs, &mut ks);
+        assert!(report.clean(), "clean pass flagged: {report:?}");
+        assert_eq!(report.layers_checked, 2);
+        assert_eq!(report.positions_checked, 36 + 1);
+        assert_eq!(report.positions_skipped, 0);
+    }
+
+    #[test]
+    fn float_abft_flags_corrupted_output_tile() {
+        let g = tiny_graph();
+        let img = Tensor::from_vec(6, 6, 3, (0..108).map(|i| (i as f32) * 0.01).collect());
+        let mut outs = Vec::new();
+        let mut ks = kernels::Scratch::new();
+        g.forward_all_into(&img, &mut outs, &mut ks).unwrap();
+        // Simulate a high-bit datapath upset in one conv output element.
+        let conv_id = 1;
+        outs[conv_id].data_mut()[10] += 4096.0;
+        let mut abft = FloatAbft::prepare(&g);
+        let report = abft.verify(&g, &outs, &mut ks);
+        // The corrupt conv tile flags directly, and the dense layer (whose
+        // recorded output no longer matches its now-corrupt input) flags
+        // too — both are genuine detections.
+        assert!(report.mismatches >= 1, "{report:?}");
+    }
+
+    #[test]
+    fn float_abft_skips_relu_clamped_positions() {
+        let mut b = GraphBuilder::new();
+        let input = b.input(4, 4, 2);
+        let params = ConvParams {
+            in_ch: 2,
+            out_ch: 2,
+            k: 1,
+            stride: 1,
+            pad: 0,
+            relu: true,
+        };
+        // Strongly negative bias clamps everything to zero.
+        let conv = b.conv("c", input, params, vec![0.1; 4], vec![-100.0; 2]);
+        let g = b.finish(conv);
+        let img = Tensor::from_vec(4, 4, 2, vec![0.5; 32]);
+        let mut outs = Vec::new();
+        let mut ks = kernels::Scratch::new();
+        g.forward_all_into(&img, &mut outs, &mut ks).unwrap();
+        let mut abft = FloatAbft::prepare(&g);
+        let report = abft.verify(&g, &outs, &mut ks);
+        assert_eq!(report.positions_skipped, 16);
+        assert_eq!(report.positions_checked, 0);
+        assert!(report.clean());
+    }
+}

@@ -22,6 +22,10 @@
 //!   accuracy calibration.
 //! * [`prune`] — magnitude and structured-channel pruning (§6.2).
 //! * [`metrics`] — accuracy / top-k / confusion.
+//! * [`abft`] — algorithm-based fault tolerance: checksum-augmented
+//!   GEMM/conv verification (dual integer checksums, Kahan-tolerance f32
+//!   checksum channels) behind a [`abft::DefensePolicy`], the detection
+//!   layer of the undervolt SDC defense.
 //!
 //! # Examples
 //!
@@ -46,6 +50,7 @@
 //! # }
 //! ```
 
+pub mod abft;
 pub mod dataset;
 pub mod graph;
 pub mod kernels;

@@ -12,6 +12,7 @@
 //! transiently (weights are restored afterwards — faults in the paper's
 //! setup are timing errors on reads, not permanent storage corruption).
 
+use crate::abft::{DefenseMode, DefensePolicy, DefenseStats, IntChecksum};
 use crate::graph::{ConvParams, Graph, GraphError, Op, Shape};
 use crate::kernels;
 use crate::reference;
@@ -174,6 +175,12 @@ pub struct QuantizedGraph {
     /// When set, conv/dense run the naive [`reference`] kernels instead of
     /// the optimized ones — the benchmark binary's baseline arm.
     use_reference: bool,
+    /// ABFT defense policy. [`DefenseMode::Off`] (the default) leaves the
+    /// execution path bit-identical to the undefended kernels.
+    defense: DefensePolicy,
+    /// ABFT event counters accumulated since the last
+    /// [`QuantizedGraph::take_defense_stats`].
+    defense_stats: DefenseStats,
 }
 
 /// The executor's buffer arena: activation tensors, raw accumulators and
@@ -367,7 +374,31 @@ impl QuantizedGraph {
             num_classes: graph.num_classes(),
             scratch: ExecScratch::default(),
             use_reference: false,
+            defense: DefensePolicy::off(),
+            defense_stats: DefenseStats::default(),
         })
+    }
+
+    /// Sets the ABFT defense policy for subsequent executions.
+    /// [`DefenseMode::Off`] restores the exact undefended execution path
+    /// (bit-identical outputs and injector draw sequence).
+    pub fn set_defense(&mut self, policy: DefensePolicy) {
+        self.defense = policy;
+    }
+
+    /// The active defense policy.
+    pub fn defense(&self) -> DefensePolicy {
+        self.defense
+    }
+
+    /// Returns and resets the accumulated ABFT counters.
+    pub fn take_defense_stats(&mut self) -> DefenseStats {
+        std::mem::take(&mut self.defense_stats)
+    }
+
+    /// Accumulated ABFT counters since the last take.
+    pub fn defense_stats(&self) -> DefenseStats {
+        self.defense_stats
     }
 
     /// Switches conv/dense layers between the optimized [`kernels`] and
@@ -679,7 +710,13 @@ impl QuantizedGraph {
         let format = self.format;
         let output_id = self.output;
         let use_reference = self.use_reference;
-        let QuantizedGraph { nodes, scratch, .. } = self;
+        let defense = self.defense;
+        let QuantizedGraph {
+            nodes,
+            scratch,
+            defense_stats,
+            ..
+        } = self;
         let ExecScratch {
             kernels: ks,
             acts,
@@ -714,24 +751,81 @@ impl QuantizedGraph {
                     rescales,
                     ..
                 } => {
-                    let reverts = apply_weight_faults(injector, name, wcodes, format);
                     let input = &before[inputs[0]];
                     let macs_per_out = params.k * params.k * params.in_ch;
                     let (oh, ow) = params.out_hw(input.h(), input.w());
-                    acc.clear();
-                    if use_reference {
-                        acc.extend(reference::conv2d_q(input, params, wcodes, bias_q));
-                    } else {
-                        acc.resize(oh * ow * params.out_ch, 0);
-                        kernels::conv2d_q_into(input, params, wcodes, bias_q, ks, acc);
+                    // Accumulator stage: compute + checksum-verify, with a
+                    // bounded re-execution loop under `Correct`. An `Off`
+                    // policy breaks after one pass having done no checksum
+                    // work and exactly the undefended injector draws.
+                    let mut attempt = 0u32;
+                    loop {
+                        let reverts = apply_weight_faults(injector, name, wcodes, format);
+                        let weight_faulted = !reverts.is_empty();
+                        acc.clear();
+                        if use_reference {
+                            acc.extend(reference::conv2d_q(input, params, wcodes, bias_q));
+                        } else {
+                            acc.resize(oh * ow * params.out_ch, 0);
+                            kernels::conv2d_q_into(input, params, wcodes, bias_q, ks, acc);
+                        }
+                        revert_weights(wcodes, reverts);
+                        let clean = if defense.is_on() {
+                            IntChecksum::of_acc(acc)
+                        } else {
+                            IntChecksum::default()
+                        };
+                        for f in injector.plan_accumulator_faults(name, acc.len(), macs_per_out) {
+                            acc[f.index] ^= 1i32 << (f.bit % 31);
+                        }
+                        if !defense.is_on() {
+                            break;
+                        }
+                        defense_stats.checks += 1;
+                        if !weight_faulted && IntChecksum::of_acc(acc) == clean {
+                            break;
+                        }
+                        defense_stats.mismatches += 1;
+                        if attempt >= defense.reexec_budget() {
+                            if defense.mode == DefenseMode::Correct {
+                                defense_stats.unresolved += 1;
+                            }
+                            break;
+                        }
+                        attempt += 1;
+                        defense_stats.reexecutions += 1;
                     }
-                    revert_weights(wcodes, reverts);
-                    for f in injector.plan_accumulator_faults(name, acc.len(), macs_per_out) {
-                        acc[f.index] ^= 1i32 << (f.bit % 31);
-                    }
-                    requantize_into(acc, shape, rescales, out_scale, params.relu, format, out);
-                    for f in injector.plan_activation_faults(name, out.codes.len(), format.bits()) {
-                        flip_code(&mut out.codes[f.index], f.bit, format);
+                    // Activation stage: requantize + checksum-verify the
+                    // quantized output codes against activation flips.
+                    let mut attempt = 0u32;
+                    loop {
+                        requantize_into(acc, shape, rescales, out_scale, params.relu, format, out);
+                        let clean = if defense.is_on() {
+                            IntChecksum::of_codes(&out.codes)
+                        } else {
+                            IntChecksum::default()
+                        };
+                        for f in
+                            injector.plan_activation_faults(name, out.codes.len(), format.bits())
+                        {
+                            flip_code(&mut out.codes[f.index], f.bit, format);
+                        }
+                        if !defense.is_on() {
+                            break;
+                        }
+                        defense_stats.checks += 1;
+                        if IntChecksum::of_codes(&out.codes) == clean {
+                            break;
+                        }
+                        defense_stats.mismatches += 1;
+                        if attempt >= defense.reexec_budget() {
+                            if defense.mode == DefenseMode::Correct {
+                                defense_stats.unresolved += 1;
+                            }
+                            break;
+                        }
+                        attempt += 1;
+                        defense_stats.reexecutions += 1;
                     }
                 }
                 QOp::Dense {
@@ -743,22 +837,75 @@ impl QuantizedGraph {
                     rescales,
                     ..
                 } => {
-                    let reverts = apply_weight_faults(injector, name, wcodes, format);
                     let input = &before[inputs[0]];
-                    acc.clear();
-                    if use_reference {
-                        acc.extend(reference::dense_q(input, *in_len, *out_len, wcodes, bias_q));
-                    } else {
-                        acc.resize(*out_len, 0);
-                        kernels::dense_q_into(input, *in_len, *out_len, wcodes, bias_q, acc);
+                    let mut attempt = 0u32;
+                    loop {
+                        let reverts = apply_weight_faults(injector, name, wcodes, format);
+                        let weight_faulted = !reverts.is_empty();
+                        acc.clear();
+                        if use_reference {
+                            acc.extend(reference::dense_q(
+                                input, *in_len, *out_len, wcodes, bias_q,
+                            ));
+                        } else {
+                            acc.resize(*out_len, 0);
+                            kernels::dense_q_into(input, *in_len, *out_len, wcodes, bias_q, acc);
+                        }
+                        revert_weights(wcodes, reverts);
+                        let clean = if defense.is_on() {
+                            IntChecksum::of_acc(acc)
+                        } else {
+                            IntChecksum::default()
+                        };
+                        for f in injector.plan_accumulator_faults(name, acc.len(), *in_len) {
+                            acc[f.index] ^= 1i32 << (f.bit % 31);
+                        }
+                        if !defense.is_on() {
+                            break;
+                        }
+                        defense_stats.checks += 1;
+                        if !weight_faulted && IntChecksum::of_acc(acc) == clean {
+                            break;
+                        }
+                        defense_stats.mismatches += 1;
+                        if attempt >= defense.reexec_budget() {
+                            if defense.mode == DefenseMode::Correct {
+                                defense_stats.unresolved += 1;
+                            }
+                            break;
+                        }
+                        attempt += 1;
+                        defense_stats.reexecutions += 1;
                     }
-                    revert_weights(wcodes, reverts);
-                    for f in injector.plan_accumulator_faults(name, acc.len(), *in_len) {
-                        acc[f.index] ^= 1i32 << (f.bit % 31);
-                    }
-                    requantize_into(acc, shape, rescales, out_scale, *relu, format, out);
-                    for f in injector.plan_activation_faults(name, out.codes.len(), format.bits()) {
-                        flip_code(&mut out.codes[f.index], f.bit, format);
+                    let mut attempt = 0u32;
+                    loop {
+                        requantize_into(acc, shape, rescales, out_scale, *relu, format, out);
+                        let clean = if defense.is_on() {
+                            IntChecksum::of_codes(&out.codes)
+                        } else {
+                            IntChecksum::default()
+                        };
+                        for f in
+                            injector.plan_activation_faults(name, out.codes.len(), format.bits())
+                        {
+                            flip_code(&mut out.codes[f.index], f.bit, format);
+                        }
+                        if !defense.is_on() {
+                            break;
+                        }
+                        defense_stats.checks += 1;
+                        if IntChecksum::of_codes(&out.codes) == clean {
+                            break;
+                        }
+                        defense_stats.mismatches += 1;
+                        if attempt >= defense.reexec_budget() {
+                            if defense.mode == DefenseMode::Correct {
+                                defense_stats.unresolved += 1;
+                            }
+                            break;
+                        }
+                        attempt += 1;
+                        defense_stats.reexecutions += 1;
                     }
                 }
                 QOp::MaxPool { k, stride } => max_pool_q_into(&before[inputs[0]], *k, *stride, out),
@@ -1031,6 +1178,7 @@ fn concat_q_into(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::abft::DEFAULT_MAX_REEXECUTIONS;
     use crate::graph::GraphBuilder;
 
     fn small_graph() -> Graph {
@@ -1293,5 +1441,169 @@ mod tests {
         for (a, b) in f.data().iter().zip(qo.data()) {
             assert!((a - b).abs() < 0.05, "{a} vs {b}");
         }
+    }
+
+    /// Faults accumulators of layer `c1` for the first `n` acc plans, then
+    /// goes quiet — a transient upset that a re-execution outruns.
+    struct TransientAccFault {
+        remaining: u32,
+    }
+
+    impl FaultInjector for TransientAccFault {
+        fn plan_weight_faults(&mut self, _: &str, _: usize, _: u32) -> Vec<BitFlip> {
+            Vec::new()
+        }
+        fn plan_accumulator_faults(&mut self, layer: &str, _: usize, _: usize) -> Vec<BitFlip> {
+            if layer == "c1" && self.remaining > 0 {
+                self.remaining -= 1;
+                vec![BitFlip { index: 1, bit: 20 }]
+            } else {
+                Vec::new()
+            }
+        }
+        fn plan_activation_faults(&mut self, _: &str, _: usize, _: u32) -> Vec<BitFlip> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn defense_off_runs_no_checks_and_keeps_faulty_output() {
+        let g = small_graph();
+        let imgs = calib_images();
+        let mut q = QuantizedGraph::quantize(&g, 8, &imgs).unwrap();
+        let faulty = q
+            .forward_with(&imgs[0], &mut TransientAccFault { remaining: 1 })
+            .unwrap();
+        assert_eq!(q.take_defense_stats(), DefenseStats::default());
+        // Round-tripping the policy through on-and-back-off leaves the
+        // undefended path bit-identical.
+        q.set_defense(DefensePolicy::correct());
+        q.set_defense(DefensePolicy::off());
+        let again = q
+            .forward_with(&imgs[0], &mut TransientAccFault { remaining: 1 })
+            .unwrap();
+        assert_eq!(faulty.data(), again.data());
+    }
+
+    #[test]
+    fn defense_detect_counts_mismatch_without_altering_output() {
+        let g = small_graph();
+        let imgs = calib_images();
+        let mut q = QuantizedGraph::quantize(&g, 8, &imgs).unwrap();
+        let faulty_off = q
+            .forward_with(&imgs[0], &mut TransientAccFault { remaining: 1 })
+            .unwrap();
+        q.set_defense(DefensePolicy::detect());
+        let faulty_detect = q
+            .forward_with(&imgs[0], &mut TransientAccFault { remaining: 1 })
+            .unwrap();
+        let stats = q.take_defense_stats();
+        assert_eq!(faulty_detect.data(), faulty_off.data());
+        assert!(stats.checks > 0);
+        assert_eq!(stats.mismatches, 1);
+        assert_eq!(stats.reexecutions, 0);
+        assert_eq!(stats.unresolved, 0, "detect mode never resolves");
+    }
+
+    #[test]
+    fn defense_correct_reexecutes_transient_fault_to_clean_output() {
+        let g = small_graph();
+        let imgs = calib_images();
+        let mut q = QuantizedGraph::quantize(&g, 8, &imgs).unwrap();
+        let clean = q.forward(&imgs[0]).unwrap();
+        q.set_defense(DefensePolicy::correct());
+        let defended = q
+            .forward_with(&imgs[0], &mut TransientAccFault { remaining: 1 })
+            .unwrap();
+        let stats = q.take_defense_stats();
+        assert_eq!(defended.data(), clean.data(), "re-execution must rescue");
+        assert_eq!(stats.mismatches, 1);
+        assert_eq!(stats.reexecutions, 1);
+        assert!(stats.clean());
+    }
+
+    #[test]
+    fn defense_correct_reports_unresolved_after_budget() {
+        let g = small_graph();
+        let imgs = calib_images();
+        let mut q = QuantizedGraph::quantize(&g, 8, &imgs).unwrap();
+        q.set_defense(DefensePolicy::correct());
+        // More consecutive upsets than the retry budget allows.
+        q.forward_with(&imgs[0], &mut TransientAccFault { remaining: 100 })
+            .unwrap();
+        let stats = q.take_defense_stats();
+        assert_eq!(stats.reexecutions, u64::from(DEFAULT_MAX_REEXECUTIONS));
+        assert_eq!(stats.unresolved, 1);
+        assert!(!stats.clean());
+    }
+
+    #[test]
+    fn defense_correct_rescues_activation_flips_too() {
+        struct OneActFlip {
+            remaining: u32,
+        }
+        impl FaultInjector for OneActFlip {
+            fn plan_weight_faults(&mut self, _: &str, _: usize, _: u32) -> Vec<BitFlip> {
+                Vec::new()
+            }
+            fn plan_accumulator_faults(&mut self, _: &str, _: usize, _: usize) -> Vec<BitFlip> {
+                Vec::new()
+            }
+            fn plan_activation_faults(&mut self, layer: &str, _: usize, bits: u32) -> Vec<BitFlip> {
+                if layer == "c1" && self.remaining > 0 {
+                    self.remaining -= 1;
+                    vec![BitFlip {
+                        index: 3,
+                        bit: bits - 1,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let g = small_graph();
+        let imgs = calib_images();
+        let mut q = QuantizedGraph::quantize(&g, 8, &imgs).unwrap();
+        let clean = q.forward(&imgs[0]).unwrap();
+        q.set_defense(DefensePolicy::correct());
+        let defended = q
+            .forward_with(&imgs[0], &mut OneActFlip { remaining: 1 })
+            .unwrap();
+        let stats = q.take_defense_stats();
+        assert_eq!(defended.data(), clean.data());
+        assert_eq!(stats.mismatches, 1);
+        assert_eq!(stats.reexecutions, 1);
+    }
+
+    #[test]
+    fn defense_correct_flags_persistent_weight_faults() {
+        struct StuckWeight;
+        impl FaultInjector for StuckWeight {
+            fn plan_weight_faults(&mut self, layer: &str, _: usize, bits: u32) -> Vec<BitFlip> {
+                if layer == "c1" {
+                    vec![BitFlip {
+                        index: 0,
+                        bit: bits - 1,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn plan_accumulator_faults(&mut self, _: &str, _: usize, _: usize) -> Vec<BitFlip> {
+                Vec::new()
+            }
+            fn plan_activation_faults(&mut self, _: &str, _: usize, _: u32) -> Vec<BitFlip> {
+                Vec::new()
+            }
+        }
+        let g = small_graph();
+        let imgs = calib_images();
+        let mut q = QuantizedGraph::quantize(&g, 8, &imgs).unwrap();
+        q.set_defense(DefensePolicy::correct());
+        q.forward_with(&imgs[0], &mut StuckWeight).unwrap();
+        let stats = q.take_defense_stats();
+        // The weight-checksum column flags every attempt; the budget runs
+        // out and the corruption is reported, not silently returned.
+        assert_eq!(stats.unresolved, 1);
     }
 }

@@ -6,11 +6,12 @@
 //! balance) can leak into the results.
 
 use redvolt::core::bench_suite::BenchmarkId;
-use redvolt::core::executor::{CampaignPlan, CellAction, CellSpec};
+use redvolt::core::executor::{CampaignPlan, CellAction, CellOutcome, CellSpec};
 use redvolt::core::experiment::AcceleratorConfig;
 use redvolt::core::governor::GovernorConfig;
 use redvolt::core::sweep::SweepConfig;
 use redvolt_faults::bus::BusFaultProfile;
+use redvolt_nn::abft::DefenseMode;
 
 /// A small mixed-action plan covering every [`CellAction`] variant: a
 /// sweep grid over two benchmarks × two boards, plus a governor cell and
@@ -102,10 +103,16 @@ fn different_master_seeds_give_different_payloads() {
 /// where the DPU injects weight/accumulator/activation flips, across two
 /// benchmarks and a low-precision (INT6, refit-readout) variant.
 fn heavy_fault_plan(master_seed: u64) -> CampaignPlan {
+    heavy_fault_plan_with(master_seed, DefenseMode::Off, false)
+}
+
+fn heavy_fault_plan_with(master_seed: u64, defense: DefenseMode, governor: bool) -> CampaignPlan {
     let base = AcceleratorConfig {
         eval_images: 12,
         repetitions: 2,
         bus_faults: BusFaultProfile::heavy(),
+        defense,
+        governor,
         ..AcceleratorConfig::tiny(BenchmarkId::VggNet)
     };
     let sweep = SweepConfig {
@@ -216,4 +223,68 @@ fn report_metadata_reflects_the_schedule_without_affecting_payload() {
     let csv = report.to_csv();
     assert!(!csv.contains("Seconds"));
     assert!(report.timing_table().to_text().contains("Seconds"));
+}
+
+/// The issue's acceptance criterion for the SDC defense: the same
+/// heavy-fault sub-Vmin campaign, run with `--defense correct
+/// --governor`, must finish with zero silently-corrupted measurement
+/// payloads — every measure cell either reports a clean point or comes
+/// back as [`CellOutcome::Degraded`] whose settled measurement is clean
+/// and whose rescue trace records the intervention. The defended payload
+/// stays a pure function of (seed, plan): byte-identical across job
+/// counts and pinned by its own golden (the undefended golden above is
+/// untouched, proving `--defense off` still reproduces the faulty
+/// bytes). Regenerate with `REDVOLT_UPDATE_GOLDEN=1 cargo test --test
+/// determinism`.
+#[test]
+fn defended_campaign_degrades_instead_of_corrupting() {
+    let plan = heavy_fault_plan_with(1906, DefenseMode::Correct, true);
+    let report = plan.run(1).unwrap();
+    assert_eq!(
+        report.to_csv(),
+        plan.run(4).unwrap().to_csv(),
+        "defended campaign is not jobs-invariant"
+    );
+
+    let mut degraded = 0;
+    for r in &report.results {
+        match &r.outcome {
+            CellOutcome::Aborted { cause } => panic!("cell {} aborted: {cause}", r.index),
+            CellOutcome::Degraded { measurement, trace } => {
+                degraded += 1;
+                assert!(trace.rescued, "cell {} returned unconfirmed", r.index);
+                assert!(trace.intervened());
+                assert_eq!(
+                    measurement.injected_faults, 0,
+                    "cell {} settled on a faulting point",
+                    r.index
+                );
+            }
+            CellOutcome::Measure(m) => {
+                assert_eq!(
+                    m.injected_faults, 0,
+                    "cell {} delivered a corrupt payload without degrading",
+                    r.index
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        degraded >= 1,
+        "the sub-Vmin measure cells must trip the governor"
+    );
+
+    let csv = report.to_csv();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/campaign_defended.csv"
+    );
+    if std::env::var_os("REDVOLT_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &csv).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing; regenerate with REDVOLT_UPDATE_GOLDEN=1");
+    assert_eq!(csv, golden, "defended campaign payload diverged");
 }

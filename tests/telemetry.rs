@@ -151,3 +151,49 @@ fn metrics_export_composes_with_resume() {
 
     std::fs::remove_file(&path).ok();
 }
+
+/// Satellite: the PMBus adapter's fault-handling counters — retries,
+/// PEC failures, retry exhaustion — must surface as metric families in
+/// the Prometheus exposition, and a heavy fault profile must actually
+/// move the retry/PEC counters (a profile that exercises nothing would
+/// make the exposition vacuous).
+#[test]
+fn heavy_fault_prometheus_reports_bus_health_counters() {
+    let plan = heavy_plan(13);
+    let sup = run_supervised(&plan, 2, &SupervisorConfig::default(), None).unwrap();
+    let prom = CampaignTelemetry::collect(&sup.report).to_prometheus();
+    let value = |name: &str| -> f64 {
+        prom.lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("{name} missing from exposition"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(value("redvolt_bus_transactions_total") > 0.0);
+    assert!(
+        value("redvolt_bus_retries_total") > 0.0,
+        "heavy profile must force retries"
+    );
+    assert!(
+        value("redvolt_bus_pec_failures_total") > 0.0,
+        "heavy profile must corrupt some PEC bytes"
+    );
+    // Exhaustion stays at zero under the resilient adapter, but the
+    // family must be reported so dashboards can alert on it.
+    assert_eq!(value("redvolt_bus_exhausted_total"), 0.0);
+    // The SDC defense families are registered even for undefended
+    // campaigns (all-zero), so scrapes never see families come and go.
+    for name in [
+        "redvolt_ecc_corrected_words_total",
+        "redvolt_ecc_uncorrectable_words_total",
+        "redvolt_abft_checks_total",
+        "redvolt_abft_mismatches_total",
+        "redvolt_scrub_passes_total",
+        "redvolt_cells_degraded_total",
+    ] {
+        assert_eq!(value(name), 0.0, "{name} should be zero when undefended");
+    }
+}
