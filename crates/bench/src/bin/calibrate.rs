@@ -22,11 +22,11 @@
 //! telemetry (check and miss counters, per-board Vmin/Vcrash gauges);
 //! `--progress SECS` reports the board searches live on stderr.
 //!
-//! The full campaign flag set — including `--defense` and `--governor` —
-//! parses here for parity with `repro`, but the SDC-defense flags have no
-//! effect on this binary: the calibration searches query the timing and
-//! power models directly and never execute kernels, so there is nothing
-//! for ABFT or the governor to act on.
+//! The full campaign flag set — including `--defense`, `--governor` and
+//! `--image-jobs` — parses here for parity with `repro`, but those flags
+//! have no effect on this binary: the calibration searches query the
+//! timing and power models directly and never execute kernels, so there
+//! is nothing for ABFT, the governor or image sharding to act on.
 
 use redvolt_bench::harness::CampaignOptions;
 use redvolt_core::executor::run_indexed;

@@ -1,0 +1,367 @@
+//! Campaign throughput benchmark for the two-level scheduler.
+//!
+//! ```text
+//! cargo run --release -p redvolt-bench --bin campaign -- --quick
+//! cargo run --release -p redvolt-bench --bin campaign -- --out BENCH_8.json
+//! cargo run --release -p redvolt-bench --bin campaign -- --quick --min-speedup 2.0
+//! cargo run --release -p redvolt-bench --bin campaign -- --quick --check BENCH_8.json
+//! ```
+//!
+//! Runs one small sweep campaign — deliberately *fewer cells than
+//! workers*, the regime the cell-level-only executor wasted — through
+//! two arms:
+//!
+//! * **serial** — `run_sharded(1, 1)`: one worker, sequential batches.
+//! * **sharded** — `run_sharded(0, 0)`: auto cell workers plus auto
+//!   image shards (the two-level engine).
+//!
+//! Both arms must produce byte-identical payloads (checked here, exit 1
+//! on divergence — that is the engine's core invariant). Wall-clock for
+//! both arms is recorded honestly, but the `--min-speedup` gate applies
+//! to a **deterministic scheduler model**, not to wall-clock: CI runners
+//! (and this development host) may expose a single hardware thread,
+//! where a measured campaign speedup is unobservable no matter how good
+//! the engine is. The model replays the measured per-cell simulated
+//! cycle costs through the exact two-level split the engine uses at a
+//! fixed modeled worker count (`--workers`, default 16):
+//!
+//! * serial makespan — the sum of per-cell cycles;
+//! * cell-level makespan — an LPT list-schedule of whole cells over
+//!   `min(workers, cells)` workers (what the old engine could do);
+//! * two-level makespan — the same schedule with every cell's duration
+//!   scaled by `ceil(I/image_jobs) / I` (each batch of `I` images shards
+//!   across the cell's surplus workers; batches stay sequential).
+//!
+//! Every input to the model is a pure function of `(seed, plan)`, so the
+//! gated speedup is identical on any runner. Results go to a JSON report
+//! (schema `redvolt-bench/campaign/v1`, default `BENCH_8.json`).
+//! `--check PATH` validates an existing report instead of benchmarking.
+
+use redvolt_core::bench_suite::BenchmarkId;
+use redvolt_core::executor::{CampaignPlan, CampaignReport};
+use redvolt_core::experiment::AcceleratorConfig;
+use redvolt_core::sweep::SweepConfig;
+use std::time::Instant;
+
+/// Report schema identifier; bump on layout changes.
+const SCHEMA: &str = "redvolt-bench/campaign/v1";
+
+/// Modeled worker count the gate evaluates at (override with `--workers`).
+const DEFAULT_WORKERS: usize = 16;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out_path = "BENCH_8.json".to_string();
+    let mut min_speedup: Option<f64> = None;
+    let mut check_path: Option<String> = None;
+    let mut workers = DEFAULT_WORKERS;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {}
+            "--out" => out_path = expect_value(&mut it, "--out"),
+            "--min-speedup" => {
+                let v = expect_value(&mut it, "--min-speedup");
+                min_speedup = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --min-speedup wants a number, got {v}");
+                    std::process::exit(2);
+                }));
+            }
+            "--workers" => {
+                let v = expect_value(&mut it, "--workers");
+                workers = v.parse().ok().filter(|&w| w >= 1).unwrap_or_else(|| {
+                    eprintln!("error: --workers wants a positive integer, got {v}");
+                    std::process::exit(2);
+                });
+            }
+            "--check" => check_path = Some(expect_value(&mut it, "--check")),
+            other => {
+                eprintln!("error: unknown flag {other}");
+                eprintln!(
+                    "usage: campaign [--quick] [--out PATH] [--workers N] \
+                     [--min-speedup X] [--check PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        check_report(&path);
+        return;
+    }
+
+    let (plan, images) = bench_plan(quick);
+    let cells = plan.len();
+    eprintln!(
+        "# campaign benchmark: {cells} cells, {images} images/batch, {workers} modeled workers"
+    );
+
+    // Untimed warm-up: populates the process-wide workload cache so both
+    // timed arms measure campaign execution, not one-off preparation.
+    eprintln!("  warm-up pass...");
+    plan.run_sharded(0, 0).expect("warm-up campaign");
+
+    eprintln!("  serial arm (jobs=1, image-jobs=1)...");
+    let t = Instant::now();
+    let serial = plan.run_sharded(1, 1).expect("serial campaign");
+    let serial_wall_s = t.elapsed().as_secs_f64();
+
+    eprintln!("  sharded arm (jobs=auto, image-jobs=auto)...");
+    let t = Instant::now();
+    let sharded = plan.run_sharded(0, 0).expect("sharded campaign");
+    let sharded_wall_s = t.elapsed().as_secs_f64();
+
+    let payload_identical = serial.to_csv() == sharded.to_csv();
+    if !payload_identical {
+        eprintln!("FAIL: sharded payload diverged from the serial payload");
+        std::process::exit(1);
+    }
+
+    let model = model_speedups(&serial, images, workers);
+    eprintln!(
+        "  measured: serial {serial_wall_s:.2}s, sharded {sharded_wall_s:.2}s \
+         (x{:.2} on {} host threads)",
+        serial_wall_s / sharded_wall_s.max(1e-9),
+        host_threads(),
+    );
+    eprintln!(
+        "  modeled @{} workers: cell-level x{:.2}, two-level x{:.2}",
+        workers, model.cell_level_speedup, model.campaign_speedup
+    );
+
+    let json = render_report(
+        quick,
+        workers,
+        cells,
+        images,
+        serial_wall_s,
+        sharded_wall_s,
+        &model,
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: writing {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+
+    if let Some(floor) = min_speedup {
+        if model.campaign_speedup < floor {
+            eprintln!(
+                "FAIL: modeled campaign speedup x{:.2} is below the x{floor:.2} floor",
+                model.campaign_speedup
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "OK: modeled campaign speedup x{:.2} >= x{floor:.2}",
+            model.campaign_speedup
+        );
+    }
+}
+
+fn expect_value(it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str) -> String {
+    it.next().cloned().unwrap_or_else(|| {
+        eprintln!("error: {flag} wants a value");
+        std::process::exit(2);
+    })
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The benchmarked campaign: a sweep over a handful of cells, each with
+/// large image batches — fewer cells than modeled workers, so the old
+/// cell-level-only executor would idle most of the pool.
+fn bench_plan(quick: bool) -> (CampaignPlan, usize) {
+    let benchmarks: &[BenchmarkId] = if quick {
+        &[BenchmarkId::VggNet, BenchmarkId::AlexNet]
+    } else {
+        &[
+            BenchmarkId::VggNet,
+            BenchmarkId::AlexNet,
+            BenchmarkId::GoogleNet,
+        ]
+    };
+    let images = if quick { 16 } else { 32 };
+    let base = AcceleratorConfig {
+        eval_images: images,
+        repetitions: 1,
+        ..AcceleratorConfig::tiny(BenchmarkId::VggNet)
+    };
+    let sweep = SweepConfig {
+        start_mv: 620.0,
+        stop_mv: if quick { 580.0 } else { 560.0 },
+        step_mv: 20.0,
+        images,
+    };
+    (
+        CampaignPlan::sweep_grid(1908, benchmarks, &[0], base, sweep),
+        images,
+    )
+}
+
+struct Model {
+    serial_cycles: u64,
+    cell_level_makespan: f64,
+    two_level_makespan: f64,
+    cell_level_speedup: f64,
+    campaign_speedup: f64,
+}
+
+/// Replays the measured per-cell simulated-cycle costs through the
+/// two-level split at `workers` modeled workers. Each cell's batches all
+/// hold `images` images, so sharding a cell across `image_jobs` workers
+/// scales its duration by exactly `ceil(images/image_jobs) / images`
+/// (batches stay sequential; images within a batch spread out).
+fn model_speedups(report: &CampaignReport, images: usize, workers: usize) -> Model {
+    let costs: Vec<u64> = report.results.iter().map(|r| r.telemetry.cycles).collect();
+    let serial_cycles: u64 = costs.iter().sum();
+    let cells = costs.len().max(1);
+    let cell_jobs = workers.min(cells).max(1);
+    let image_jobs = (workers / cell_jobs).max(1);
+    let shard_factor = images.div_ceil(image_jobs) as f64 / images.max(1) as f64;
+
+    let cell_level_makespan = lpt_makespan(
+        &costs.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+        cell_jobs,
+    );
+    let two_level_makespan = lpt_makespan(
+        &costs
+            .iter()
+            .map(|&c| c as f64 * shard_factor)
+            .collect::<Vec<_>>(),
+        cell_jobs,
+    );
+    Model {
+        serial_cycles,
+        cell_level_makespan,
+        two_level_makespan,
+        cell_level_speedup: serial_cycles as f64 / cell_level_makespan.max(1e-9),
+        campaign_speedup: serial_cycles as f64 / two_level_makespan.max(1e-9),
+    }
+}
+
+/// Longest-processing-time list schedule: sort tasks by duration
+/// (descending, index-stable), greedily assign each to the least-loaded
+/// worker, return the maximum load. Deterministic for fixed inputs.
+fn lpt_makespan(durations: &[f64], workers: usize) -> f64 {
+    let mut order: Vec<usize> = (0..durations.len()).collect();
+    order.sort_by(|&a, &b| durations[b].total_cmp(&durations[a]).then(a.cmp(&b)));
+    let mut loads = vec![0.0f64; workers.max(1)];
+    for &i in &order {
+        let min = loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+            .map(|(k, _)| k)
+            .expect("at least one worker");
+        loads[min] += durations[i];
+    }
+    loads.iter().fold(0.0f64, |a, &b| a.max(b))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_report(
+    quick: bool,
+    workers: usize,
+    cells: usize,
+    images: usize,
+    serial_wall_s: f64,
+    sharded_wall_s: f64,
+    model: &Model,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"workers\": {workers},\n"));
+    s.push_str(&format!("  \"cells\": {cells},\n"));
+    s.push_str(&format!("  \"images_per_batch\": {images},\n"));
+    s.push_str("  \"payload_identical\": true,\n");
+    s.push_str("  \"measured\": {\n");
+    s.push_str(&format!(
+        "    \"host_threads\": {},\n    \"serial_wall_s\": {:.3},\n    \"sharded_wall_s\": {:.3},\n    \"wall_speedup\": {:.3}\n",
+        host_threads(),
+        serial_wall_s,
+        sharded_wall_s,
+        serial_wall_s / sharded_wall_s.max(1e-9)
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"modeled\": {\n");
+    s.push_str(&format!(
+        "    \"serial_cycles\": {},\n    \"cell_level_makespan_cycles\": {:.0},\n    \"two_level_makespan_cycles\": {:.0},\n    \"cell_level_speedup\": {:.3},\n    \"campaign_speedup\": {:.3}\n",
+        model.serial_cycles,
+        model.cell_level_makespan,
+        model.two_level_makespan,
+        model.cell_level_speedup,
+        model.campaign_speedup
+    ));
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"modeled_campaign_speedup\": {:.3}\n",
+        model.campaign_speedup
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Structural validation of a report file: correct schema tag, every
+/// required key present, byte-identical payloads attested, and a
+/// positive-finite modeled campaign speedup.
+fn check_report(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: reading {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut problems = Vec::new();
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        problems.push(format!("missing or wrong schema tag (want {SCHEMA})"));
+    }
+    if !text.contains("\"payload_identical\": true") {
+        problems.push("payload_identical is not true".to_string());
+    }
+    for key in [
+        "\"quick\":",
+        "\"workers\":",
+        "\"cells\":",
+        "\"images_per_batch\":",
+        "\"measured\":",
+        "\"serial_wall_s\":",
+        "\"sharded_wall_s\":",
+        "\"wall_speedup\":",
+        "\"modeled\":",
+        "\"serial_cycles\":",
+        "\"cell_level_speedup\":",
+        "\"campaign_speedup\":",
+        "\"modeled_campaign_speedup\":",
+    ] {
+        if !text.contains(key) {
+            problems.push(format!("missing key {key}"));
+        }
+    }
+    for line in text.lines() {
+        if let Some(rest) = line.trim().strip_prefix("\"modeled_campaign_speedup\":") {
+            let v: f64 = rest
+                .trim()
+                .trim_end_matches(',')
+                .parse()
+                .unwrap_or(f64::NAN);
+            if !v.is_finite() || v <= 0.0 {
+                problems.push(format!("modeled_campaign_speedup not positive-finite: {v}"));
+            }
+        }
+    }
+    if problems.is_empty() {
+        eprintln!("OK: {path} conforms to {SCHEMA}");
+    } else {
+        for p in &problems {
+            eprintln!("FAIL: {p}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -14,8 +14,12 @@
 //! text. `--jobs N` shards the shared sweep campaign across N worker
 //! threads (default: available parallelism); results are byte-identical
 //! for every N because each campaign cell derives its seed from the plan,
-//! not the schedule. Per-cell timing goes to stderr so stdout stays
-//! comparable across job counts.
+//! not the schedule. `--image-jobs M` additionally shards each cell's
+//! image batch across M workers (0 or absent = divide surplus `--jobs`
+//! workers across images; 1 = sequential batches) — every image derives
+//! its fault stream from `(cell seed, image index, attempt)`, so output
+//! stays byte-identical for any (jobs, image-jobs) combination. Per-cell
+//! timing goes to stderr so stdout stays comparable across job counts.
 //!
 //! The shared sweep campaign runs under the crash-resilient supervisor:
 //! `--fault-profile none|light|heavy` injects transient PMBus faults
@@ -31,7 +35,11 @@
 //! stream (spans + metrics), `--prom-out PATH` writes the Prometheus
 //! text exposition, and `--progress SECS` emits live progress lines to
 //! stderr. Exported metric bytes are a pure function of (seed, plan) —
-//! identical for every `--jobs` value.
+//! identical for every `--jobs` value. The JSONL stream also carries the
+//! process-wide workload-cache effectiveness counters
+//! (`redvolt_quant_cache_{hits,misses}_total`, `_occupancy`); their
+//! totals are scheduling-invariant too (once-semantics slots), though
+//! they reflect the whole process, not a single campaign.
 //!
 //! SDC defense: `--defense off|detect|correct` arms ABFT checksums on
 //! the kernels and ECC SECDED scrubbing on the BRAM weight store (`off`

@@ -239,8 +239,9 @@ pub fn parse_jobs(args: &[String]) -> usize {
 
 /// Flags that consume the following argument. The binaries use this to
 /// tell option values apart from experiment names when filtering argv.
-pub const VALUE_FLAGS: [&str; 9] = [
+pub const VALUE_FLAGS: [&str; 10] = [
     "--jobs",
+    "--image-jobs",
     "--journal",
     "--max-attempts",
     "--fault-profile",
@@ -258,6 +259,10 @@ pub const VALUE_FLAGS: [&str; 9] = [
 pub struct CampaignOptions {
     /// Worker threads (`--jobs N`, 0 or absent = available parallelism).
     pub jobs: usize,
+    /// Image-shard workers per cell (`--image-jobs N`; 0 or absent =
+    /// divide surplus workers across a cell's image batch, 1 =
+    /// sequential batches). Results are byte-identical for any value.
+    pub image_jobs: usize,
     /// Write-ahead journal path (`--journal PATH`).
     pub journal: Option<PathBuf>,
     /// Resume from an existing journal (`--resume`, needs `--journal`).
@@ -288,6 +293,7 @@ impl Default for CampaignOptions {
     fn default() -> Self {
         CampaignOptions {
             jobs: parse_jobs(&[]),
+            image_jobs: 0,
             journal: None,
             resume: false,
             max_attempts: SupervisorConfig::default().max_attempts,
@@ -334,6 +340,12 @@ impl CampaignOptions {
                 None
             };
             match flag {
+                "--image-jobs" => {
+                    opts.image_jobs = value
+                        .as_deref()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--image-jobs needs a worker count (0 = auto)")?;
+                }
                 "--journal" => {
                     let path = value.ok_or("--journal needs a file path")?;
                     opts.journal = Some(PathBuf::from(path));
@@ -396,6 +408,7 @@ impl CampaignOptions {
         SupervisorConfig {
             max_attempts: self.max_attempts,
             halt_after: self.halt_after,
+            image_jobs: self.image_jobs,
             ..SupervisorConfig::default()
         }
     }
@@ -415,14 +428,17 @@ impl CampaignOptions {
     }
 
     /// Writes the telemetry exports `--metrics-out` / `--prom-out`
-    /// request (no-op when neither flag was given).
+    /// request (no-op when neither flag was given). The JSONL stream
+    /// additionally carries the process-wide workload cache
+    /// effectiveness samples (hits, misses, occupancy); the Prometheus
+    /// exposition stays a pure function of `(seed, plan)`.
     ///
     /// # Errors
     ///
     /// Propagates file-write errors.
     pub fn export_telemetry(&self, telemetry: &CampaignTelemetry) -> std::io::Result<()> {
         if let Some(path) = &self.metrics_out {
-            telemetry.write_jsonl(path)?;
+            std::fs::write(path, telemetry.to_jsonl_with_cache_stats())?;
         }
         if let Some(path) = &self.prom_out {
             telemetry.write_prometheus(path)?;
@@ -1185,6 +1201,7 @@ mod tests {
         let opts = CampaignOptions::from_args(&args(&[
             "fig6",
             "--jobs=2",
+            "--image-jobs=4",
             "--journal",
             "run.journal",
             "--resume",
@@ -1198,6 +1215,8 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(opts.jobs, 2);
+        assert_eq!(opts.image_jobs, 4);
+        assert_eq!(opts.supervisor_config().image_jobs, 4);
         assert_eq!(
             opts.journal.as_deref(),
             Some(std::path::Path::new("run.journal"))
@@ -1213,6 +1232,7 @@ mod tests {
         assert!(opts.governor);
 
         let defaults = CampaignOptions::from_args(&args(&["fig3", "--csv"])).unwrap();
+        assert_eq!(defaults.image_jobs, 0, "absent flag means auto-split");
         assert_eq!(defaults.fault_profile, BusFaultProfile::none());
         assert!(defaults.journal.is_none() && !defaults.resume);
         assert_eq!(defaults.defense, DefenseMode::Off);
@@ -1223,6 +1243,8 @@ mod tests {
         assert!(CampaignOptions::from_args(&args(&["--defense", "nope"])).is_err());
         assert!(CampaignOptions::from_args(&args(&["--max-attempts", "0"])).is_err());
         assert!(CampaignOptions::from_args(&args(&["--journal"])).is_err());
+        assert!(CampaignOptions::from_args(&args(&["--image-jobs", "x"])).is_err());
+        assert!(CampaignOptions::from_args(&args(&["--image-jobs"])).is_err());
     }
 
     #[test]

@@ -285,15 +285,35 @@ impl CampaignPlan {
     /// order* is returned (also independent of scheduling). A board hang
     /// during a sweep is not an error — it is recorded in the sweep.
     pub fn run(&self, jobs: usize) -> Result<CampaignReport, CampaignError> {
+        self.run_sharded(jobs, 0)
+    }
+
+    /// [`CampaignPlan::run`] with an explicit image-shard worker count per
+    /// cell — the second level of the two-level scheduler. `image_jobs ==
+    /// 0` derives it automatically: whatever share of the requested worker
+    /// budget the cell level leaves idle (`total / cell_jobs`), so a
+    /// 4-cell sweep on a 16-core host runs 4 cells × 4 image shards
+    /// instead of idling 12 cores. Payloads are byte-identical for every
+    /// `(jobs, image_jobs)` combination — per-image fault streams derive
+    /// from `(cell seed, image index, attempt)`, never from scheduling.
+    ///
+    /// # Errors
+    ///
+    /// See [`CampaignPlan::run`].
+    pub fn run_sharded(
+        &self,
+        jobs: usize,
+        image_jobs: usize,
+    ) -> Result<CampaignReport, CampaignError> {
         let started = Instant::now();
-        let jobs = resolve_jobs(jobs, self.cells.len());
+        let (jobs, image_jobs) = two_level_jobs(jobs, self.cells.len(), image_jobs);
         let outcomes = run_indexed(self.cells.len(), jobs, |index, worker| {
             let cell_started = Instant::now();
             let spec = CellSpec {
                 config: self.cells[index].config.with_seed(self.cell_seed(index)),
                 ..self.cells[index].clone()
             };
-            let (outcome, telemetry) = execute_cell(&spec);
+            let (outcome, telemetry) = execute_cell_with(&spec, None, image_jobs);
             (spec, outcome, telemetry, cell_started.elapsed(), worker)
         });
         let mut results = Vec::with_capacity(outcomes.len());
@@ -320,6 +340,7 @@ impl CampaignPlan {
         }
         Ok(CampaignReport {
             jobs,
+            image_jobs,
             elapsed: started.elapsed(),
             results,
         })
@@ -340,26 +361,48 @@ pub fn resolve_jobs(jobs: usize, count: usize) -> usize {
     jobs.max(1).min(count.max(1))
 }
 
-/// Brings up the cell's accelerator and drives its action once — the unit
-/// of work both [`CampaignPlan::run`] and the supervisor's per-attempt
-/// worker execute. Alongside the outcome it returns the attempt's drained
-/// telemetry (default when bring-up itself failed, so there is nothing to
-/// drain).
-pub(crate) fn execute_cell(spec: &CellSpec) -> (Result<CellOutcome, MeasureError>, CellTelemetry) {
-    execute_cell_with(spec, None)
+/// Splits a worker budget across the two scheduling levels. The cell
+/// level takes [`resolve_jobs`] workers (preserving every historical
+/// `jobs` contract); an explicit `image_jobs` passes through, and `0`
+/// derives it as the per-cell share of the *requested* budget the cell
+/// level cannot use — `max(1, total / cell_jobs)` — so surplus workers
+/// shard images instead of idling.
+pub fn two_level_jobs(jobs: usize, cells: usize, image_jobs: usize) -> (usize, usize) {
+    let total = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    let cell_jobs = resolve_jobs(jobs, cells);
+    let image_jobs = if image_jobs == 0 {
+        (total / cell_jobs).max(1)
+    } else {
+        image_jobs
+    };
+    (cell_jobs, image_jobs)
 }
 
-/// [`execute_cell`] with a simulated-cycle budget installed before the
-/// action runs — the supervisor's deterministic watchdog deadline.
+/// Brings up the cell's accelerator and drives its action once — the unit
+/// of work both [`CampaignPlan::run`] and the supervisor's per-attempt
+/// worker execute — with a simulated-cycle budget installed before the
+/// action runs (the supervisor's deterministic watchdog deadline) and an
+/// image-shard worker count for the cell's batches (1 = sequential; an
+/// execution parameter, never part of the cell's identity). Alongside the
+/// outcome it returns the attempt's drained telemetry (default when
+/// bring-up itself failed, so there is nothing to drain).
 pub(crate) fn execute_cell_with(
     spec: &CellSpec,
     cycle_budget: Option<u64>,
+    image_jobs: usize,
 ) -> (Result<CellOutcome, MeasureError>, CellTelemetry) {
     let mut acc = match Accelerator::bring_up(&spec.config) {
         Ok(acc) => acc,
         Err(e) => return (Err(e), CellTelemetry::default()),
     };
     acc.set_cycle_budget(cycle_budget);
+    acc.set_image_jobs(image_jobs);
     if let Some(temp) = spec.force_temp_c {
         acc.board_mut().thermal_mut().force_temperature(temp);
     }
@@ -397,8 +440,10 @@ pub(crate) fn execute_cell_with(
 /// A finished campaign: per-cell results in plan order plus timing.
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
-    /// Worker count the campaign ran with.
+    /// Cell-level worker count the campaign ran with.
     pub jobs: usize,
+    /// Image-shard workers per cell (1 = sequential batches).
+    pub image_jobs: usize,
     /// Wall-clock time of the whole campaign.
     pub elapsed: Duration,
     /// Per-cell results, merged in plan order.
@@ -725,6 +770,25 @@ mod tests {
         assert_eq!(resolve_jobs(0, 1), 1);
         assert_eq!(resolve_jobs(3, 2), 2, "jobs clamps to cell count");
         assert_eq!(resolve_jobs(5, 0), 1, "empty work resolves to one");
+    }
+
+    #[test]
+    fn two_level_split_divides_surplus_workers_across_images() {
+        // Explicit budgets: cell jobs clamp to the cell count and the surplus
+        // becomes image shards when the caller asks for auto (0).
+        assert_eq!(two_level_jobs(8, 2, 0), (2, 4));
+        assert_eq!(two_level_jobs(8, 8, 0), (8, 1));
+        assert_eq!(two_level_jobs(3, 8, 0), (3, 1));
+        // An explicit image-shard count passes through untouched.
+        assert_eq!(two_level_jobs(8, 2, 3), (2, 3));
+        assert_eq!(two_level_jobs(1, 4, 8), (1, 8));
+        // jobs == 0 resolves against available parallelism for both levels.
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let (cell_jobs, image_jobs) = two_level_jobs(0, 2, 0);
+        assert_eq!(cell_jobs, resolve_jobs(0, 2));
+        assert_eq!(image_jobs, (cores / cell_jobs).max(1));
     }
 
     #[test]

@@ -504,6 +504,15 @@ impl Accelerator {
         self.runtime.set_cycle_budget(budget);
     }
 
+    /// Sets the image-shard worker count for this accelerator's batches
+    /// (0 = available parallelism, 1 = sequential). An execution
+    /// parameter only: measurements are byte-identical for every value,
+    /// so it lives outside [`AcceleratorConfig`] and never reaches the
+    /// journal's plan fingerprint.
+    pub fn set_image_jobs(&mut self, image_jobs: usize) {
+        self.runtime.set_image_jobs(image_jobs);
+    }
+
     /// Cumulative simulated DPU cycles this accelerator has executed.
     pub fn cycles_run(&self) -> u64 {
         self.runtime.cycles_run()

@@ -49,7 +49,7 @@
 //! ```
 
 use crate::executor::{
-    execute_cell_with, resolve_jobs, run_indexed, CampaignPlan, CampaignReport, CellOutcome,
+    execute_cell_with, run_indexed, two_level_jobs, CampaignPlan, CampaignReport, CellOutcome,
     CellResult, CellSpec,
 };
 use crate::experiment::MeasureError;
@@ -84,6 +84,11 @@ pub struct SupervisorConfig {
     /// journaled (test/CI hook for killing a run mid-flight in a
     /// controlled, deterministic place).
     pub halt_after: Option<usize>,
+    /// Image-shard workers per cell batch: `0` (the default) derives the
+    /// count from whatever share of the requested worker budget the cell
+    /// level leaves idle, `1` keeps batches sequential. Results are
+    /// byte-identical for every value.
+    pub image_jobs: usize,
 }
 
 impl Default for SupervisorConfig {
@@ -93,6 +98,7 @@ impl Default for SupervisorConfig {
             wall_cap: Duration::from_secs(300),
             cycle_budget: None,
             halt_after: None,
+            image_jobs: 0,
         }
     }
 }
@@ -193,12 +199,18 @@ enum Attempt {
 /// it outlives `wall_cap`. A reaped thread is detached, not joined — the
 /// OS thread finishes (or leaks) on its own; the supervisor moves on, as
 /// the real campaign moved on by power-cycling a wedged board.
-fn run_attempt(spec: &CellSpec, wall_cap: Duration, cycle_budget: Option<u64>) -> Attempt {
+fn run_attempt(
+    spec: &CellSpec,
+    wall_cap: Duration,
+    cycle_budget: Option<u64>,
+    image_jobs: usize,
+) -> Attempt {
     let spec = spec.clone();
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
-        let result =
-            panic::catch_unwind(AssertUnwindSafe(|| execute_cell_with(&spec, cycle_budget)));
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            execute_cell_with(&spec, cycle_budget, image_jobs)
+        }));
         // The receiver may be gone (deadline fired); that is fine.
         let _ = tx.send(result);
     });
@@ -271,11 +283,15 @@ impl CellFold {
 /// spans wrapped per attempt). Cause strings are deterministic (no
 /// timing, no addresses), so aborted outcomes serialize identically
 /// across runs.
-fn supervise_cell(spec: &CellSpec, config: &SupervisorConfig) -> (CellOutcome, u32, CellTelemetry) {
+fn supervise_cell(
+    spec: &CellSpec,
+    config: &SupervisorConfig,
+    image_jobs: usize,
+) -> (CellOutcome, u32, CellTelemetry) {
     let max_attempts = config.max_attempts.max(1);
     let mut fold = CellFold::new();
     for attempt in 1..=max_attempts {
-        match run_attempt(spec, config.wall_cap, config.cycle_budget) {
+        match run_attempt(spec, config.wall_cap, config.cycle_budget, image_jobs) {
             Attempt::Done(result, telemetry) => match *result {
                 Ok(outcome) => {
                     fold.fold(attempt, &telemetry);
@@ -397,7 +413,7 @@ pub fn run_supervised_observed(
         _ => false,
     };
 
-    let jobs = resolve_jobs(jobs, pending.len());
+    let (jobs, image_jobs) = two_level_jobs(jobs, pending.len(), config.image_jobs);
     let writer = Mutex::new(writer);
     let journal_err: Mutex<Option<io::Error>> = Mutex::new(None);
     let fresh = run_indexed(pending.len(), jobs, |qi, worker| {
@@ -407,7 +423,7 @@ pub fn run_supervised_observed(
             config: plan.cells()[index].config.with_seed(plan.cell_seed(index)),
             ..plan.cells()[index].clone()
         };
-        let (outcome, attempts, telemetry) = supervise_cell(&spec, config);
+        let (outcome, attempts, telemetry) = supervise_cell(&spec, config, image_jobs);
         // Write-ahead: the cell is not "done" until its line is flushed.
         // The scalar telemetry rides along as a space-free trailing token
         // so a resumed campaign reports the same metrics.
@@ -484,6 +500,7 @@ pub fn run_supervised_observed(
     Ok(SupervisedReport {
         report: CampaignReport {
             jobs,
+            image_jobs,
             elapsed: started.elapsed(),
             results,
         },

@@ -333,6 +333,23 @@ impl CampaignTelemetry {
         export_jsonl(&spans, &self.registry.samples())
     }
 
+    /// The JSONL event stream with the process-wide
+    /// [`crate::workload_cache`] effectiveness samples (hits, misses,
+    /// occupancy) appended after the campaign's own metrics.
+    ///
+    /// Cache totals depend on process history (a warm cache serves hits
+    /// where a cold one counted misses), so they are *not* a pure
+    /// function of `(seed, plan)`. They are therefore appended only
+    /// here, for the operator-facing `--metrics-out` stream — never in
+    /// [`CampaignTelemetry::to_prometheus`] or the golden-tested
+    /// campaign payloads, which stay byte-identical across runs.
+    pub fn to_jsonl_with_cache_stats(&self) -> String {
+        let spans: Vec<SpanRecord> = self.spans.spans().cloned().collect();
+        let mut samples = self.registry.samples();
+        samples.extend(crate::workload_cache::metrics_registry().samples());
+        export_jsonl(&spans, &samples)
+    }
+
     /// The Prometheus text exposition of the metrics.
     pub fn to_prometheus(&self) -> String {
         export_prometheus(&self.registry.samples())
@@ -532,5 +549,27 @@ mod tests {
         assert_eq!(CellTelemetry::decode_compact("1,2,3"), None);
         let thirteen: String = blob.split(',').take(13).collect::<Vec<_>>().join(",");
         assert_eq!(CellTelemetry::decode_compact(&thirteen), None);
+    }
+
+    #[test]
+    fn cache_stats_appear_in_jsonl_but_not_prometheus() {
+        let telem = CampaignTelemetry {
+            registry: redvolt_telemetry::Registry::new(),
+            spans: redvolt_telemetry::SpanRing::new(),
+        };
+        let jsonl = telem.to_jsonl_with_cache_stats();
+        assert!(jsonl.contains("redvolt_quant_cache_hits_total"));
+        assert!(jsonl.contains("redvolt_quant_cache_misses_total"));
+        assert!(jsonl.contains("redvolt_quant_cache_occupancy"));
+        // The meta line's metric count covers the appended samples.
+        let metrics = jsonl.lines().count() - 1;
+        assert!(jsonl
+            .lines()
+            .next()
+            .expect("meta line")
+            .contains(&format!("\"metrics\":{metrics}")));
+        // The plain exports stay pure functions of (seed, plan).
+        assert!(!telem.to_jsonl().contains("quant_cache"));
+        assert!(!telem.to_prometheus().contains("quant_cache"));
     }
 }

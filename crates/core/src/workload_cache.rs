@@ -26,7 +26,7 @@
 //!   every model ever prepared.
 
 use crate::bench_suite::{Workload, WorkloadConfig, WorkloadError};
-use redvolt_telemetry::{Counter, Registry};
+use redvolt_telemetry::{Counter, Gauge, Registry};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -79,6 +79,7 @@ struct Cache {
     registry: Registry,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
+    occupancy: Arc<Gauge>,
 }
 
 fn cache() -> &'static Cache {
@@ -87,6 +88,7 @@ fn cache() -> &'static Cache {
         let registry = Registry::new();
         let hits = registry.counter("redvolt_quant_cache_hits_total", &[]);
         let misses = registry.counter("redvolt_quant_cache_misses_total", &[]);
+        let occupancy = registry.gauge("redvolt_quant_cache_occupancy", &[]);
         Cache {
             state: Mutex::new(CacheState {
                 slots: HashMap::new(),
@@ -96,6 +98,7 @@ fn cache() -> &'static Cache {
             registry,
             hits,
             misses,
+            occupancy,
         }
     })
 }
@@ -108,6 +111,8 @@ pub struct CacheStats {
     /// Lookups that had to prepare (including re-preparation after
     /// eviction or while the cache was disabled).
     pub misses: u64,
+    /// Slots currently held (including in-flight preparations).
+    pub occupancy: usize,
 }
 
 /// Returns `Workload::prepare(config)`, served from the cache when an
@@ -140,6 +145,7 @@ pub fn get_or_prepare(config: WorkloadConfig) -> Result<Workload, WorkloadError>
             let slot: Arc<Slot> = Arc::new(Mutex::new(None));
             state.slots.insert(key, Arc::clone(&slot));
             state.fifo.push_back(key);
+            c.occupancy.set(state.fifo.len() as f64);
             slot
         }
     };
@@ -162,6 +168,7 @@ pub fn get_or_prepare(config: WorkloadConfig) -> Result<Workload, WorkloadError>
             let mut state = c.state.lock().expect("workload cache poisoned");
             state.slots.remove(&key);
             state.fifo.retain(|k| k != &key);
+            c.occupancy.set(state.fifo.len() as f64);
             Err(e)
         }
     }
@@ -182,15 +189,20 @@ pub fn is_enabled() -> bool {
 /// Current hit/miss totals.
 pub fn stats() -> CacheStats {
     let c = cache();
+    let occupancy = c.state.lock().expect("workload cache poisoned").fifo.len();
     CacheStats {
         hits: c.hits.get(),
         misses: c.misses.get(),
+        occupancy,
     }
 }
 
 /// The cache's private metrics registry
-/// (`redvolt_quant_cache_hits_total`, `redvolt_quant_cache_misses_total`).
-/// Deliberately separate from campaign exports — see the module docs.
+/// (`redvolt_quant_cache_hits_total`, `redvolt_quant_cache_misses_total`,
+/// `redvolt_quant_cache_occupancy`). Deliberately separate from the
+/// campaign's golden-tested exports — see the module docs. The harness
+/// appends these samples to the `--metrics-out` JSONL stream only, via
+/// [`crate::telemetry::CampaignTelemetry::to_jsonl_with_cache_stats`].
 pub fn metrics_registry() -> &'static Registry {
     &cache().registry
 }
@@ -202,6 +214,7 @@ pub fn reset() {
     let mut state = c.state.lock().expect("workload cache poisoned");
     state.slots.clear();
     state.fifo.clear();
+    c.occupancy.set(0.0);
     c.enabled.store(true, Ordering::Relaxed);
 }
 
@@ -307,5 +320,26 @@ mod tests {
         assert!(names
             .iter()
             .any(|n| n == "redvolt_quant_cache_misses_total"));
+        assert!(names.iter().any(|n| n == "redvolt_quant_cache_occupancy"));
+    }
+
+    #[test]
+    fn occupancy_tracks_held_slots() {
+        let _guard = serial();
+        reset();
+        assert_eq!(stats().occupancy, 0);
+        let a = WorkloadConfig {
+            seed: 90005,
+            ..WorkloadConfig::tiny(BenchmarkId::VggNet)
+        };
+        get_or_prepare(a).unwrap();
+        assert_eq!(stats().occupancy, 1);
+        get_or_prepare(a).unwrap();
+        assert_eq!(stats().occupancy, 1, "hits do not grow the cache");
+        let b = WorkloadConfig { seed: 90006, ..a };
+        get_or_prepare(b).unwrap();
+        assert_eq!(stats().occupancy, 2);
+        reset();
+        assert_eq!(stats().occupancy, 0);
     }
 }

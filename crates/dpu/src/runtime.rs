@@ -19,11 +19,26 @@ use redvolt_fpga::board::Zcu102Board;
 use redvolt_fpga::calib::F_NOM_MHZ;
 use redvolt_fpga::ecc::Scrubber;
 use redvolt_fpga::power::LoadProfile;
-use redvolt_nn::abft::{DefensePolicy, DefenseStats};
+use redvolt_nn::abft::{DefenseMode, DefensePolicy, DefenseStats};
 use redvolt_nn::graph::{Graph, GraphError};
-use redvolt_nn::quant::QuantizedGraph;
+use redvolt_nn::quant::{ExecScratch, QuantizedGraph};
 use redvolt_nn::tensor::Tensor;
+use redvolt_num::rng::derive_substream_seed;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Derives the fault-stream seed for one image of a batch.
+///
+/// Every image's injector state is a pure function of
+/// `(batch seed, image index, attempt)` — independent of how the batch
+/// is sharded across workers, which images ran before it, and whether
+/// the run is the plain or the Razor-mitigated path (the mitigated path
+/// retries with `attempt` = 1, 2, …; fresh attempts draw fresh faults).
+/// This is the shared seeding scheme of both [`DpuRuntime::run_batch`]
+/// and [`DpuRuntime::run_batch_mitigated`].
+pub fn image_stream_seed(batch_seed: u64, image_index: u64, attempt: u32) -> u64 {
+    derive_substream_seed(batch_seed, image_index, u64::from(attempt))
+}
 
 /// Errors from runtime operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -186,6 +201,114 @@ pub struct MitigatedBatchResult {
     pub unresolved_images: u64,
 }
 
+/// Outcome of one image's isolated execution: its prediction (or graph
+/// error) plus every per-image counter, so shards can be merged in image
+/// order into exactly the totals a sequential walk would produce.
+struct ImageRun {
+    outcome: Result<usize, GraphError>,
+    ecc: EccStats,
+    defense: DefenseStats,
+    latent: u64,
+    injected: u64,
+}
+
+/// Executes one image against the shared graph with its own derived
+/// fault stream and the worker's scratch arena.
+fn run_one_image(
+    graph: &QuantizedGraph,
+    board: &Zcu102Board,
+    mode: DefenseMode,
+    seed: u64,
+    index: usize,
+    image: &Tensor,
+    scratch: &mut ExecScratch,
+) -> ImageRun {
+    let mut injector = EccInjector::new(
+        board_injector(board, image_stream_seed(seed, index as u64, 0)),
+        mode,
+    );
+    let mut defense = DefenseStats::default();
+    let outcome = graph.predict_shared(image, &mut injector, scratch, &mut defense);
+    let ecc = injector.stats();
+    let latent = injector.take_latent();
+    ImageRun {
+        outcome,
+        ecc,
+        defense,
+        latent,
+        injected: injector.into_inner().injected_count(),
+    }
+}
+
+/// Runs the first `executed` images of a batch, sharded across up to
+/// `workers` threads (one scratch arena per worker, reused across
+/// batches via `pool`), and returns the per-image results in image
+/// order. With `workers <= 1` the walk is inline — no threads spawned.
+///
+/// Results are a pure function of `(graph, board, mode, seed)` per
+/// image, so the returned vector is identical for every worker count.
+#[allow(clippy::too_many_arguments)]
+fn run_images(
+    graph: &QuantizedGraph,
+    board: &Zcu102Board,
+    mode: DefenseMode,
+    images: &[Tensor],
+    executed: usize,
+    seed: u64,
+    workers: usize,
+    pool: &mut Vec<ExecScratch>,
+) -> Vec<ImageRun> {
+    let workers = workers.clamp(1, executed.max(1));
+    if pool.len() < workers {
+        pool.resize_with(workers, ExecScratch::new);
+    }
+    if workers <= 1 {
+        let scratch = &mut pool[0];
+        return images[..executed]
+            .iter()
+            .enumerate()
+            .map(|(i, img)| run_one_image(graph, board, mode, seed, i, img, scratch))
+            .collect();
+    }
+    let queue = AtomicUsize::new(0);
+    let mut slots: Vec<Option<ImageRun>> = Vec::with_capacity(executed);
+    slots.resize_with(executed, || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for scratch in pool.iter_mut().take(workers) {
+            let queue = &queue;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, ImageRun)> = Vec::new();
+                loop {
+                    let i = queue.fetch_add(1, Ordering::Relaxed);
+                    if i >= executed {
+                        break;
+                    }
+                    local.push((
+                        i,
+                        run_one_image(graph, board, mode, seed, i, &images[i], scratch),
+                    ));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => {
+                    for (i, run) in local {
+                        slots[i] = Some(run);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every claimed image produced a result"))
+        .collect()
+}
+
 /// The DNNDK-style runtime bound to one board.
 #[derive(Debug)]
 pub struct DpuRuntime {
@@ -199,6 +322,11 @@ pub struct DpuRuntime {
     scrubber: Scrubber,
     ecc_total: EccStats,
     defense_total: DefenseStats,
+    /// Requested image-shard workers per batch (0 = available
+    /// parallelism, 1 = sequential — the default).
+    image_jobs: usize,
+    /// Per-worker scratch arenas, reused across batches.
+    scratch_pool: Vec<ExecScratch>,
 }
 
 impl DpuRuntime {
@@ -216,7 +344,24 @@ impl DpuRuntime {
             scrubber: Scrubber::default(),
             ecc_total: EccStats::default(),
             defense_total: DefenseStats::default(),
+            image_jobs: 1,
+            scratch_pool: Vec::new(),
         }
+    }
+
+    /// Sets how many workers shard a batch's images in
+    /// [`DpuRuntime::run_batch`]: `0` means available parallelism, `1`
+    /// (the default) keeps the walk sequential. Results are byte-identical
+    /// for every value — per-image fault streams derive from
+    /// [`image_stream_seed`], never from execution order.
+    pub fn set_image_jobs(&mut self, image_jobs: usize) {
+        self.image_jobs = image_jobs;
+    }
+
+    /// The configured image-shard worker count (0 = available
+    /// parallelism).
+    pub fn image_jobs(&self) -> usize {
+        self.image_jobs
     }
 
     /// Sets the SDC defense policy for subsequent batches: ECC filtering
@@ -276,6 +421,47 @@ impl DpuRuntime {
                 Err(RunError::CycleBudgetExceeded { budget })
             }
             _ => Ok(()),
+        }
+    }
+
+    /// Charges a whole batch's cycles up front, mirroring the sequential
+    /// charge-then-run walk exactly: returns how many leading images fit
+    /// the budget (they execute) and the budget error, if the charge for
+    /// the first non-fitting image tripped it. Charging before execution
+    /// is what lets the batch shard — the budget outcome is decided
+    /// deterministically, never raced by workers.
+    fn charge_batch_cycles(&mut self, per_image: u64, count: usize) -> (usize, Option<RunError>) {
+        let Some(budget) = self.cycle_budget else {
+            self.cycles_run = self
+                .cycles_run
+                .saturating_add(per_image.saturating_mul(count as u64));
+            return (count, None);
+        };
+        let over = Some(RunError::CycleBudgetExceeded { budget });
+        if per_image == 0 || count == 0 {
+            // Free (or empty) batches never advance the meter; they only
+            // fail when the budget was already exhausted.
+            if self.cycles_run > budget && count > 0 {
+                return (0, over);
+            }
+            return (count, None);
+        }
+        let headroom = budget.saturating_sub(self.cycles_run);
+        let fit = usize::try_from(headroom / per_image)
+            .unwrap_or(usize::MAX)
+            .min(count);
+        if fit == count {
+            self.cycles_run = self
+                .cycles_run
+                .saturating_add(per_image.saturating_mul(count as u64));
+            (count, None)
+        } else {
+            // `fit` successful charges plus the one that trips — exactly
+            // what the old per-image loop accumulated before failing.
+            self.cycles_run = self
+                .cycles_run
+                .saturating_add(per_image.saturating_mul(fit as u64 + 1));
+            (fit, over)
         }
     }
 
@@ -351,7 +537,7 @@ impl DpuRuntime {
                 attempts_total += 1;
                 self.charge_cycles(task.kernel.total_cycles())?;
                 let mut injector =
-                    board_injector(&self.board, seed ^ ((i as u64) << 20) ^ u64::from(attempt));
+                    board_injector(&self.board, image_stream_seed(seed, i as u64, attempt));
                 let pred = task.qgraph.predict_with(img, &mut injector)?;
                 self.faults_observed += injector.event_count();
                 if injector.event_count() == 0 || attempt >= max_retries {
@@ -405,33 +591,67 @@ impl DpuRuntime {
         if self.board.is_crashed() {
             return Err(RunError::BoardCrashed);
         }
-        let mut injector = EccInjector::new(board_injector(&self.board, seed), self.defense.mode);
+        // Decide the budget outcome up front (identical accounting to the
+        // old per-image charge loop), then shard the fitting images.
+        let per_image = task.kernel.total_cycles();
+        let (executed, budget_err) = self.charge_batch_cycles(per_image, images.len());
         task.qgraph.set_defense(self.defense);
-        let mut predictions = Vec::with_capacity(images.len());
-        let mut run = || -> Result<(), RunError> {
-            for img in images {
-                self.charge_cycles(task.kernel.total_cycles())?;
-                predictions.push(task.qgraph.predict_with(img, &mut injector)?);
-            }
-            Ok(())
+        let workers = if self.image_jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.image_jobs
         };
-        let outcome = run();
-        // Account defense events even when the budget tripped mid-batch.
-        let ecc = injector.stats();
-        let defense = task.qgraph.take_defense_stats();
+        let runs = run_images(
+            &task.qgraph,
+            &self.board,
+            self.defense.mode,
+            images,
+            executed,
+            seed,
+            workers,
+            &mut self.scratch_pool,
+        );
         task.qgraph.set_defense(DefensePolicy::off());
+        // Merge in image order, stopping the accounting at the first
+        // graph error — exactly what a sequential walk would have seen.
+        // Account defense events even when the budget tripped mid-batch.
+        let mut predictions = Vec::with_capacity(executed);
+        let mut ecc = EccStats::default();
+        let mut defense = DefenseStats::default();
+        let mut latent = 0u64;
+        let mut injected = 0u64;
+        let mut graph_err: Option<GraphError> = None;
+        for run in runs {
+            if graph_err.is_some() {
+                break;
+            }
+            match run.outcome {
+                Ok(pred) => {
+                    predictions.push(pred);
+                    ecc.merge(&run.ecc);
+                    defense.merge(&run.defense);
+                    latent += run.latent;
+                    injected += run.injected;
+                }
+                Err(e) => graph_err = Some(e),
+            }
+        }
         self.ecc_total.merge(&ecc);
         self.defense_total.merge(&defense);
-        self.scrubber.record_latent(injector.take_latent());
-        self.scrubber.tick(
-            task.kernel
-                .total_cycles()
-                .saturating_mul(images.len() as u64),
-        );
+        self.scrubber.record_latent(latent);
+        self.scrubber
+            .tick(per_image.saturating_mul(images.len() as u64));
         // Flips that ECC corrected never reached the datapath.
-        let delivered = injector.into_inner().injected_count() - ecc.dropped_flips;
+        let delivered = injected - ecc.dropped_flips;
         self.faults_observed += delivered;
-        outcome?;
+        if let Some(e) = graph_err {
+            return Err(e.into());
+        }
+        if let Some(e) = budget_err {
+            return Err(e);
+        }
         Ok(BatchResult {
             predictions,
             timing,
@@ -649,5 +869,52 @@ mod tests {
         let b = rt.run_batch(&mut task, &images, 9).unwrap();
         assert_eq!(a.predictions, b.predictions);
         assert_eq!(a.injected_faults, b.injected_faults);
+    }
+
+    #[test]
+    fn both_batch_paths_agree_at_zero_retries() {
+        // The unified seeding contract: run_batch and run_batch_mitigated
+        // draw the same per-image fault streams, so with retries disabled
+        // (and no defense filtering the flips) their predictions match
+        // even deep in the critical region.
+        let (mut rt, mut task, images) = setup();
+        let mut host = PmbusAdapter::new();
+        host.set_vout(rt.board_mut(), 0x13, 0.542).unwrap();
+        let plain = rt.run_batch(&mut task, &images, 7).unwrap();
+        assert!(plain.injected_faults > 0, "expected faults at 542 mV");
+        let mitigated = rt.run_batch_mitigated(&mut task, &images, 7, 0).unwrap();
+        assert_eq!(mitigated.attempts_per_image, 1.0);
+        assert_eq!(plain.predictions, mitigated.predictions);
+    }
+
+    #[test]
+    fn image_sharding_is_invisible_in_the_results() {
+        // Per-image fault streams derive from (seed, index, attempt), so
+        // any image-shard worker count reproduces the sequential batch —
+        // predictions, fault counts, ECC/ABFT events and cycle meter.
+        let (mut rt, mut task, images) = setup();
+        let mut host = PmbusAdapter::new();
+        host.set_vout(rt.board_mut(), 0x13, 0.542).unwrap();
+        rt.set_defense(DefensePolicy::correct());
+        let baseline = rt.run_batch(&mut task, &images, 11).unwrap();
+        let baseline_cycles = rt.cycles_run();
+        assert!(baseline.injected_faults > 0, "expected faults at 542 mV");
+        for jobs in [2usize, 3, 8, 0] {
+            let (mut rt2, mut task2, images2) = setup();
+            let mut host2 = PmbusAdapter::new();
+            host2.set_vout(rt2.board_mut(), 0x13, 0.542).unwrap();
+            rt2.set_defense(DefensePolicy::correct());
+            rt2.set_image_jobs(jobs);
+            let sharded = rt2.run_batch(&mut task2, &images2, 11).unwrap();
+            assert_eq!(sharded.predictions, baseline.predictions, "jobs={jobs}");
+            assert_eq!(
+                sharded.injected_faults, baseline.injected_faults,
+                "jobs={jobs}"
+            );
+            assert_eq!(sharded.ecc, baseline.ecc, "jobs={jobs}");
+            assert_eq!(sharded.defense, baseline.defense, "jobs={jobs}");
+            assert_eq!(rt2.cycles_run(), baseline_cycles, "jobs={jobs}");
+            assert_eq!(rt2.faults_observed(), rt.faults_observed(), "jobs={jobs}");
+        }
     }
 }

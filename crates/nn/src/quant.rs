@@ -186,17 +186,39 @@ pub struct QuantizedGraph {
 /// The executor's buffer arena: activation tensors, raw accumulators and
 /// kernel panels, all sized on first use and reused afterwards so a
 /// warmed-up inference performs no heap allocation.
+///
+/// Every [`QuantizedGraph`] owns one arena for its `&mut self` entry
+/// points, but arenas are also first-class: [`QuantizedGraph::predict_shared`]
+/// runs a *shared* graph against any externally-owned arena, which is how
+/// the two-level campaign executor gives each image-shard worker its own
+/// scratch while all workers read one immutable graph.
 #[derive(Debug, Clone, Default)]
-struct ExecScratch {
+pub struct ExecScratch {
     kernels: kernels::Scratch,
     acts: Vec<QTensor>,
     acc: Vec<i32>,
+    /// Copy-on-fault weight staging: shared-graph execution cannot flip
+    /// weight bits in place, so a faulted layer's codes are copied here,
+    /// flipped, and the kernel runs on the copy.
+    wbuf: Vec<i8>,
     /// Float staging buffer (softmax input, dequantized logits).
     fbuf: Vec<f32>,
     /// Float logits of the output node, valid after a forward pass.
     final_float: Vec<f32>,
     /// Shape of `final_float`.
     final_shape: Shape,
+}
+
+impl ExecScratch {
+    /// An empty arena; buffers size themselves on first use.
+    pub fn new() -> Self {
+        ExecScratch::default()
+    }
+
+    /// Float logits of the output node, valid after a shared-graph run.
+    pub fn final_logits(&self) -> &[f32] {
+        &self.final_float
+    }
 }
 
 impl QuantizedGraph {
@@ -685,13 +707,69 @@ impl QuantizedGraph {
         Ok(())
     }
 
-    /// Executes the graph into the scratch arena: `scratch.acts[id]` holds
-    /// every node's activation and `scratch.final_float` the output node's
-    /// float logits. No allocation once the arena is warm.
+    /// Predicted class with a fault injector, against an external arena.
+    ///
+    /// Unlike [`QuantizedGraph::predict_with`] this takes `&self`: the
+    /// graph is never mutated (transient weight faults run on a
+    /// copy-on-fault staging buffer inside `scratch`), so one prepared
+    /// graph can serve many image-shard workers concurrently, each with
+    /// its own [`ExecScratch`] and [`DefenseStats`] accumulator. Bit-for-
+    /// bit identical to `predict_with` for the same injector state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BadImage`] on input-shape mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph output is empty.
+    pub fn predict_shared(
+        &self,
+        image: &Tensor,
+        injector: &mut dyn FaultInjector,
+        scratch: &mut ExecScratch,
+        stats: &mut DefenseStats,
+    ) -> Result<usize, GraphError> {
+        self.run_shared(image, injector, scratch, stats)?;
+        let logits = &scratch.final_float;
+        assert!(!logits.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in logits.iter().enumerate() {
+            if v > logits[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Executes the graph into the owned scratch arena — the `&mut self`
+    /// entry point behind [`QuantizedGraph::predict_with`] /
+    /// [`QuantizedGraph::forward_with`]. Delegates to
+    /// [`QuantizedGraph::run_shared`] with the graph's own arena and
+    /// defense-stat accumulator.
     fn run_internal(
         &mut self,
         image: &Tensor,
         injector: &mut dyn FaultInjector,
+    ) -> Result<(), GraphError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut stats = std::mem::take(&mut self.defense_stats);
+        let result = self.run_shared(image, injector, &mut scratch, &mut stats);
+        self.scratch = scratch;
+        self.defense_stats = stats;
+        result
+    }
+
+    /// Executes the graph into `scratch`: `scratch.acts[id]` holds every
+    /// node's activation and `scratch.final_float` the output node's
+    /// float logits. No allocation once the arena is warm, and no graph
+    /// mutation ever — weight faults stage through `scratch.wbuf`.
+    fn run_shared(
+        &self,
+        image: &Tensor,
+        injector: &mut dyn FaultInjector,
+        scratch: &mut ExecScratch,
+        stats: &mut DefenseStats,
     ) -> Result<(), GraphError> {
         let in_shape = self.nodes[self.input].shape;
         if image.h() != in_shape.h || image.w() != in_shape.w || image.c() != in_shape.c {
@@ -711,16 +789,12 @@ impl QuantizedGraph {
         let output_id = self.output;
         let use_reference = self.use_reference;
         let defense = self.defense;
-        let QuantizedGraph {
-            nodes,
-            scratch,
-            defense_stats,
-            ..
-        } = self;
+        let nodes = &self.nodes;
         let ExecScratch {
             kernels: ks,
             acts,
             acc,
+            wbuf,
             fbuf,
             final_float,
             final_shape,
@@ -732,17 +806,17 @@ impl QuantizedGraph {
         // mutable borrow of `nodes` could not express.
         #[allow(clippy::needless_range_loop)]
         for id in 0..nodes.len() {
-            // Split the borrows field-wise: the op is mutated in place
-            // (transient weight faults), the rest is read-only, and the
-            // activation list splits at `id` — inputs always precede.
-            let node = &mut nodes[id];
+            // The graph is read-only here — transient weight faults stage
+            // through `wbuf` — and the activation list splits at `id`;
+            // inputs always precede.
+            let node = &nodes[id];
             let name = node.name.as_str();
             let inputs = &node.inputs;
             let shape = node.shape;
             let out_scale = node.out_scale;
             let (before, rest) = acts.split_at_mut(id);
             let out = &mut rest[0];
-            match &mut node.op {
+            match &node.op {
                 QOp::Input => quantize_image_into(image, out_scale, format, out),
                 QOp::Conv {
                     params,
@@ -760,16 +834,15 @@ impl QuantizedGraph {
                     // work and exactly the undefended injector draws.
                     let mut attempt = 0u32;
                     loop {
-                        let reverts = apply_weight_faults(injector, name, wcodes, format);
-                        let weight_faulted = !reverts.is_empty();
+                        let (weights, weight_faulted) =
+                            faulted_weights(injector, name, wcodes, format, wbuf);
                         acc.clear();
                         if use_reference {
-                            acc.extend(reference::conv2d_q(input, params, wcodes, bias_q));
+                            acc.extend(reference::conv2d_q(input, params, weights, bias_q));
                         } else {
                             acc.resize(oh * ow * params.out_ch, 0);
-                            kernels::conv2d_q_into(input, params, wcodes, bias_q, ks, acc);
+                            kernels::conv2d_q_into(input, params, weights, bias_q, ks, acc);
                         }
-                        revert_weights(wcodes, reverts);
                         let clean = if defense.is_on() {
                             IntChecksum::of_acc(acc)
                         } else {
@@ -781,19 +854,19 @@ impl QuantizedGraph {
                         if !defense.is_on() {
                             break;
                         }
-                        defense_stats.checks += 1;
+                        stats.checks += 1;
                         if !weight_faulted && IntChecksum::of_acc(acc) == clean {
                             break;
                         }
-                        defense_stats.mismatches += 1;
+                        stats.mismatches += 1;
                         if attempt >= defense.reexec_budget() {
                             if defense.mode == DefenseMode::Correct {
-                                defense_stats.unresolved += 1;
+                                stats.unresolved += 1;
                             }
                             break;
                         }
                         attempt += 1;
-                        defense_stats.reexecutions += 1;
+                        stats.reexecutions += 1;
                     }
                     // Activation stage: requantize + checksum-verify the
                     // quantized output codes against activation flips.
@@ -813,19 +886,19 @@ impl QuantizedGraph {
                         if !defense.is_on() {
                             break;
                         }
-                        defense_stats.checks += 1;
+                        stats.checks += 1;
                         if IntChecksum::of_codes(&out.codes) == clean {
                             break;
                         }
-                        defense_stats.mismatches += 1;
+                        stats.mismatches += 1;
                         if attempt >= defense.reexec_budget() {
                             if defense.mode == DefenseMode::Correct {
-                                defense_stats.unresolved += 1;
+                                stats.unresolved += 1;
                             }
                             break;
                         }
                         attempt += 1;
-                        defense_stats.reexecutions += 1;
+                        stats.reexecutions += 1;
                     }
                 }
                 QOp::Dense {
@@ -840,18 +913,17 @@ impl QuantizedGraph {
                     let input = &before[inputs[0]];
                     let mut attempt = 0u32;
                     loop {
-                        let reverts = apply_weight_faults(injector, name, wcodes, format);
-                        let weight_faulted = !reverts.is_empty();
+                        let (weights, weight_faulted) =
+                            faulted_weights(injector, name, wcodes, format, wbuf);
                         acc.clear();
                         if use_reference {
                             acc.extend(reference::dense_q(
-                                input, *in_len, *out_len, wcodes, bias_q,
+                                input, *in_len, *out_len, weights, bias_q,
                             ));
                         } else {
                             acc.resize(*out_len, 0);
-                            kernels::dense_q_into(input, *in_len, *out_len, wcodes, bias_q, acc);
+                            kernels::dense_q_into(input, *in_len, *out_len, weights, bias_q, acc);
                         }
-                        revert_weights(wcodes, reverts);
                         let clean = if defense.is_on() {
                             IntChecksum::of_acc(acc)
                         } else {
@@ -863,19 +935,19 @@ impl QuantizedGraph {
                         if !defense.is_on() {
                             break;
                         }
-                        defense_stats.checks += 1;
+                        stats.checks += 1;
                         if !weight_faulted && IntChecksum::of_acc(acc) == clean {
                             break;
                         }
-                        defense_stats.mismatches += 1;
+                        stats.mismatches += 1;
                         if attempt >= defense.reexec_budget() {
                             if defense.mode == DefenseMode::Correct {
-                                defense_stats.unresolved += 1;
+                                stats.unresolved += 1;
                             }
                             break;
                         }
                         attempt += 1;
-                        defense_stats.reexecutions += 1;
+                        stats.reexecutions += 1;
                     }
                     let mut attempt = 0u32;
                     loop {
@@ -893,19 +965,19 @@ impl QuantizedGraph {
                         if !defense.is_on() {
                             break;
                         }
-                        defense_stats.checks += 1;
+                        stats.checks += 1;
                         if IntChecksum::of_codes(&out.codes) == clean {
                             break;
                         }
-                        defense_stats.mismatches += 1;
+                        stats.mismatches += 1;
                         if attempt >= defense.reexec_budget() {
                             if defense.mode == DefenseMode::Correct {
-                                defense_stats.unresolved += 1;
+                                stats.unresolved += 1;
                             }
                             break;
                         }
                         attempt += 1;
-                        defense_stats.reexecutions += 1;
+                        stats.reexecutions += 1;
                     }
                 }
                 QOp::MaxPool { k, stride } => max_pool_q_into(&before[inputs[0]], *k, *stride, out),
@@ -997,26 +1069,35 @@ fn quantize_image_into(image: &Tensor, scale: f32, format: IntFormat, out: &mut 
     }
 }
 
-fn apply_weight_faults(
+/// Stages transient weight faults for one kernel pass without touching
+/// the graph: when the injector plans at least one in-range flip, the
+/// layer's codes are copied into `wbuf`, flipped there, and the staged
+/// copy is returned; a clean pass returns the original slice untouched.
+/// The bool mirrors the old in-place path's "weight was faulted" signal
+/// consumed by the ABFT checksum stage.
+fn faulted_weights<'a>(
     injector: &mut dyn FaultInjector,
     layer: &str,
-    wcodes: &mut [i8],
+    wcodes: &'a [i8],
     format: IntFormat,
-) -> Vec<(usize, i8)> {
+    wbuf: &'a mut Vec<i8>,
+) -> (&'a [i8], bool) {
     let flips = injector.plan_weight_faults(layer, wcodes.len(), format.bits());
-    let mut reverts = Vec::with_capacity(flips.len());
+    let mut faulted = false;
     for f in flips {
         if f.index < wcodes.len() {
-            reverts.push((f.index, wcodes[f.index]));
-            flip_code(&mut wcodes[f.index], f.bit, format);
+            if !faulted {
+                wbuf.clear();
+                wbuf.extend_from_slice(wcodes);
+                faulted = true;
+            }
+            flip_code(&mut wbuf[f.index], f.bit, format);
         }
     }
-    reverts
-}
-
-fn revert_weights(wcodes: &mut [i8], reverts: Vec<(usize, i8)>) {
-    for (i, orig) in reverts {
-        wcodes[i] = orig;
+    if faulted {
+        (wbuf.as_slice(), true)
+    } else {
+        (wcodes, false)
     }
 }
 

@@ -45,6 +45,30 @@ pub fn derive_stream_seed(master_seed: u64, stream: u64) -> u64 {
     inner.next_u64()
 }
 
+/// Derives an independent seed from a master seed, a stream index and a
+/// substream index, by chaining two [`derive_stream_seed`] rounds.
+///
+/// This is the per-image seeding scheme of the two-level campaign
+/// executor: image `i`, attempt `a` of a cell whose batch seed is `s`
+/// injects faults from `derive_substream_seed(s, i, a)`, so every
+/// image's fault stream is a pure function of `(cell seed, image index,
+/// attempt)` — independent of image-shard count, worker scheduling and
+/// whichever images ran before it.
+///
+/// # Examples
+///
+/// ```
+/// use redvolt_num::rng::derive_substream_seed;
+///
+/// let a = derive_substream_seed(42, 3, 0);
+/// let b = derive_substream_seed(42, 3, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, derive_substream_seed(42, 3, 0));
+/// ```
+pub fn derive_substream_seed(master_seed: u64, stream: u64, substream: u64) -> u64 {
+    derive_stream_seed(derive_stream_seed(master_seed, stream), substream)
+}
+
 /// SplitMix64 generator (Vigna, 2015).
 ///
 /// Primarily used to expand a single `u64` seed into the larger state of
@@ -261,6 +285,29 @@ mod tests {
             derive_stream_seed(43, 1),
             derive_stream_seed(0, 42),
             derive_stream_seed(1, 42),
+        ];
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn derive_substream_seed_is_pure_and_spreads() {
+        assert_eq!(
+            derive_substream_seed(42, 3, 1),
+            derive_substream_seed(42, 3, 1)
+        );
+        // (stream, substream) transpositions and the plain stream seed
+        // must all land on distinct values.
+        let seeds = [
+            derive_substream_seed(42, 0, 0),
+            derive_substream_seed(42, 0, 1),
+            derive_substream_seed(42, 1, 0),
+            derive_substream_seed(42, 1, 1),
+            derive_stream_seed(42, 0),
+            derive_stream_seed(42, 1),
         ];
         for (i, a) in seeds.iter().enumerate() {
             for b in &seeds[i + 1..] {
