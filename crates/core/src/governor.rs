@@ -18,6 +18,57 @@ use crate::experiment::{Accelerator, MeasureError, Measurement};
 use crate::mitigation::{LadderMove, MitigationLadder};
 use redvolt_fpga::calib::VNOM_MV;
 
+/// A point-in-time health reading of one accelerator, for fleet-level
+/// consumers (the serving router scores boards with this). Everything
+/// here derives from commanded state and seeded simulation counters, so
+/// snapshots are pure functions of `(seed, config, history)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoardHealth {
+    /// Commanded `VCCINT`, mV.
+    pub vccint_mv: f64,
+    /// DPU clock, MHz.
+    pub f_mhz: f64,
+    /// Steady-state junction temperature, °C.
+    pub junction_c: f64,
+    /// Exact on-chip power at the present operating point, watts.
+    pub power_w: f64,
+    /// Whether the board is hung.
+    pub crashed: bool,
+    /// Power cycles so far.
+    pub power_cycles: u64,
+    /// Cumulative SDC/ECC defense events (see
+    /// [`Accelerator::defense_events`]).
+    pub defense_events: u64,
+    /// Cumulative transient faults delivered into the datapath.
+    pub dpu_faults: u64,
+    /// Cumulative simulated DPU cycles executed.
+    pub cycles_run: u64,
+}
+
+impl BoardHealth {
+    /// Snapshots an accelerator's health.
+    pub fn of(acc: &Accelerator) -> BoardHealth {
+        let snap = acc.board().snapshot();
+        BoardHealth {
+            vccint_mv: snap.vccint_mv,
+            f_mhz: acc.clock_mhz(),
+            junction_c: snap.junction_c,
+            power_w: snap.on_chip_power_w,
+            crashed: snap.crashed,
+            power_cycles: snap.power_cycles,
+            defense_events: acc.defense_events(),
+            dpu_faults: acc.faults_observed(),
+            cycles_run: acc.cycles_run(),
+        }
+    }
+
+    /// Mitigation rungs this operating point sits away from a commanded
+    /// baseline, per `ladder` — the router's degradation distance.
+    pub fn rungs_from(&self, ladder: &MitigationLadder, base_f_mhz: f64, base_mv: f64) -> u32 {
+        ladder.rungs_walked(base_f_mhz, base_mv, self.f_mhz, self.vccint_mv)
+    }
+}
+
 /// Governor tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GovernorConfig {
@@ -339,6 +390,23 @@ mod tests {
             ..AcceleratorConfig::tiny(BenchmarkId::GoogleNet)
         })
         .unwrap()
+    }
+
+    #[test]
+    fn board_health_snapshot_tracks_the_operating_point() {
+        let mut acc = accelerator();
+        acc.set_vccint_mv(600.0).unwrap();
+        acc.set_clock_mhz(283.0);
+        acc.measure(8).unwrap();
+        let h = BoardHealth::of(&acc);
+        // The PMBus VOUT command quantizes to the regulator's LSB, so the
+        // snapshot reads back near — not exactly at — the requested point.
+        assert!((h.vccint_mv - 600.0).abs() < 0.5, "vccint {}", h.vccint_mv);
+        assert_eq!(h.f_mhz, 283.0);
+        assert!(!h.crashed);
+        assert!(h.cycles_run > 0);
+        assert!(h.power_w > 0.0);
+        assert_eq!(h.rungs_from(&MitigationLadder::default(), 333.0, 600.0), 2);
     }
 
     #[test]

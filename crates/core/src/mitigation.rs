@@ -181,6 +181,17 @@ impl MitigationLadder {
         }
         LadderMove::Exhausted
     }
+
+    /// How many rungs separate the operating point `(f_mhz, vccint_mv)`
+    /// from the commanded baseline `(base_f_mhz, base_mv)`: frequency
+    /// underscaling steps plus voltage backoff steps. The serving
+    /// router uses this as its "how degraded is this board" distance —
+    /// zero means the governor never had to intervene.
+    pub fn rungs_walked(&self, base_f_mhz: f64, base_mv: f64, f_mhz: f64, vccint_mv: f64) -> u32 {
+        let f_steps = ((base_f_mhz - f_mhz).max(0.0) / self.f_step_mhz).round() as u32;
+        let v_steps = ((vccint_mv - base_mv).max(0.0) / self.v_step_mv).round() as u32;
+        f_steps + v_steps
+    }
 }
 
 #[cfg(test)]
@@ -239,5 +250,15 @@ mod tests {
         // Floor reached: voltage escalates toward the ceiling.
         assert_eq!(ladder.next(f, 545.0), LadderMove::Backoff(555.0));
         assert_eq!(ladder.next(f, 575.0), LadderMove::Exhausted);
+    }
+
+    #[test]
+    fn rungs_walked_counts_both_axes() {
+        let ladder = MitigationLadder::default();
+        assert_eq!(ladder.rungs_walked(333.0, 545.0, 333.0, 545.0), 0);
+        assert_eq!(ladder.rungs_walked(333.0, 545.0, 283.0, 545.0), 2);
+        assert_eq!(ladder.rungs_walked(333.0, 545.0, 258.0, 565.0), 5);
+        // Moves in the healthy direction never count as rungs.
+        assert_eq!(ladder.rungs_walked(333.0, 545.0, 333.0, 540.0), 0);
     }
 }

@@ -72,6 +72,54 @@ impl LoadProfile {
     }
 }
 
+/// Energy of running `cycles` DPU cycles at `f_mhz` under `power_w`,
+/// in joules: the per-batch integrand the serving layer charges boards
+/// with (`P · t`, with `t = cycles / (f · 1e6)` seconds).
+pub fn energy_j(power_w: f64, cycles: u64, f_mhz: f64) -> f64 {
+    if f_mhz <= 0.0 {
+        return 0.0;
+    }
+    power_w * (cycles as f64 / (f_mhz * 1e6))
+}
+
+/// Per-board cumulative energy meter.
+///
+/// Accumulates in integer microjoules so additions commute exactly —
+/// the same trick the telemetry histograms use — keeping fleet energy
+/// totals byte-identical regardless of how charge calls interleave.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyAccount {
+    microjoules: u64,
+    charges: u64,
+}
+
+impl EnergyAccount {
+    /// An empty account.
+    pub fn new() -> Self {
+        EnergyAccount::default()
+    }
+
+    /// Charges the energy of `cycles` DPU cycles at `f_mhz` under
+    /// `power_w` and returns the charged amount in joules.
+    pub fn charge(&mut self, power_w: f64, cycles: u64, f_mhz: f64) -> f64 {
+        let joules = energy_j(power_w, cycles, f_mhz);
+        self.microjoules += (joules.max(0.0) * 1e6).round() as u64;
+        self.charges += 1;
+        joules
+    }
+
+    /// Total charged energy, joules (exactly reproducible: reconstructed
+    /// from the integer microjoule accumulator).
+    pub fn total_j(&self) -> f64 {
+        self.microjoules as f64 / 1e6
+    }
+
+    /// Number of charges recorded.
+    pub fn charges(&self) -> u64 {
+        self.charges
+    }
+}
+
 /// Power model of one board sample.
 #[derive(Debug, Clone)]
 pub struct PowerModel {
@@ -159,6 +207,19 @@ mod tests {
 
     fn model() -> PowerModel {
         PowerModel::default()
+    }
+
+    #[test]
+    fn energy_account_accumulates_exactly() {
+        let mut acct = EnergyAccount::new();
+        // 10 W for 333e6 cycles at 333 MHz = 10 J.
+        let j = acct.charge(10.0, 333_000_000, 333.0);
+        assert!((j - 10.0).abs() < 1e-9);
+        // Halving the clock doubles the time, hence the energy.
+        acct.charge(10.0, 333_000_000, 166.5);
+        assert!((acct.total_j() - 30.0).abs() < 1e-6);
+        assert_eq!(acct.charges(), 2);
+        assert_eq!(energy_j(10.0, 1000, 0.0), 0.0, "idle clock charges nothing");
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Virtual-time event queue.
+//!
+//! The serving subsystem is a discrete-event simulation: there is no wall
+//! clock anywhere, only a monotonically advancing virtual timestamp in
+//! **reference cycles** (cycles of the nominal 333 MHz DPU clock). Events
+//! scheduled at the same cycle are ordered by their insertion sequence
+//! number, which itself is assigned in deterministic program order — so
+//! the event trace, and everything derived from it, is a pure function of
+//! `(seed, config)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A virtual timestamp in reference cycles (nominal-clock cycles).
+pub type Cycle = u64;
+
+/// One scheduled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A request arrives at the front door (admission control runs).
+    Arrival,
+    /// A board's batch-accumulation window expired: dispatch whatever is
+    /// queued if the board is idle and the epoch still matches (a
+    /// dispatch between scheduling and firing bumps the epoch, voiding
+    /// the timeout).
+    BatchTimeout {
+        /// Board index.
+        board: usize,
+        /// Queue epoch the timeout was armed against.
+        epoch: u64,
+    },
+    /// A board finished its in-flight batch.
+    BatchDone {
+        /// Board index.
+        board: usize,
+    },
+    /// A crashed board completed its power-cycle and rejoins the fleet.
+    BoardUp {
+        /// Board index.
+        board: usize,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled {
+    cycle: Cycle,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (cycle, seq)
+        // pops first.
+        (other.cycle, other.seq).cmp(&(self.cycle, self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic priority queue of [`Event`]s keyed by `(cycle, seq)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `cycle`. Ties break by insertion order.
+    pub fn push(&mut self, cycle: Cycle, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { cycle, seq, event });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, Event)> {
+        self.heap.pop().map(|s| (s.cycle, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_cycle_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(20, Event::BatchDone { board: 1 });
+        q.push(10, Event::Arrival);
+        q.push(10, Event::BoardUp { board: 0 });
+        q.push(15, Event::BatchTimeout { board: 2, epoch: 7 });
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((10, Event::Arrival)));
+        assert_eq!(q.pop(), Some((10, Event::BoardUp { board: 0 })));
+        assert_eq!(
+            q.pop(),
+            Some((15, Event::BatchTimeout { board: 2, epoch: 7 }))
+        );
+        assert_eq!(q.pop(), Some((20, Event::BatchDone { board: 1 })));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+}

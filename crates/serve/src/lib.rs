@@ -1,0 +1,52 @@
+//! # redvolt-serve — deterministic inference serving over an undervolted fleet
+//!
+//! The paper measures one board at a time; this crate asks the systems
+//! question that follows from it: *if reduced-voltage operation saves
+//! 2-3x power, what does a serving cluster built on undervolted FPGAs
+//! look like?* It simulates a fleet of [`Zcu102Board`]-backed
+//! accelerators behind a front door with admission control, bounded
+//! per-board queues, dynamic batching, and a router that understands
+//! each board's calibrated Vmin and current mitigation state.
+//!
+//! The whole subsystem is a **discrete-event simulation in virtual
+//! time**: timestamps are cycles of the nominal DPU clock, arrivals come
+//! from seeded streams, and every observable output — the report, the
+//! JSONL metrics, the Prometheus export — is byte-identical across
+//! reruns and worker counts for a fixed `(seed, config)`.
+//!
+//! Module map:
+//!
+//! * [`event`] — the virtual-time event queue (`(cycle, seq)`-ordered).
+//! * [`traffic`] — seeded open-loop Poisson/burst arrival streams.
+//! * [`fleet`] — per-board bring-up, Vmin calibration, batch execution,
+//!   energy accounting, ladder escalation and crash recovery.
+//! * [`router`] — admission control (shed/degrade) and the Vmin-aware
+//!   vs round-robin routing policies.
+//! * [`sim`] — the event loop tying it all together.
+//! * [`report`] — text/JSONL/Prometheus renderings of a finished run.
+//!
+//! ```
+//! use redvolt_serve::report::ServeReport;
+//! use redvolt_serve::sim::{self, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = ServeConfig {
+//!     requests: 24,
+//!     ..ServeConfig::default()
+//! };
+//! let outcome = sim::run(&cfg)?;
+//! assert_eq!(outcome.counters.offered, 24);
+//! let report = ServeReport::build(&cfg, outcome);
+//! assert!(report.to_text().contains("== redvolt-serve run =="));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`Zcu102Board`]: redvolt_fpga::board::Zcu102Board
+
+pub mod event;
+pub mod fleet;
+pub mod report;
+pub mod router;
+pub mod sim;
+pub mod traffic;

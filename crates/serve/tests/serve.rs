@@ -1,0 +1,164 @@
+//! End-to-end acceptance tests for the serving subsystem.
+//!
+//! The smoke scenario here is exactly what CI's `serve-smoke` job runs
+//! through the `serve` binary (`serve run` with default flags — see
+//! `.github/workflows/ci.yml`): a 3-board fleet served 10 mV below each
+//! board's calibrated Vmin with `--defense correct` and the governor on.
+//! Its report, JSONL telemetry and Prometheus exposition are pinned
+//! byte-for-byte under `tests/golden/serve_smoke.*`. Regenerate (only
+//! for changes that legitimately alter serving output) with
+//! `REDVOLT_UPDATE_GOLDEN=1 cargo test -p redvolt-serve --test serve`.
+
+use proptest::prelude::*;
+use redvolt_serve::report::ServeReport;
+use redvolt_serve::router::RouterPolicy;
+use redvolt_serve::sim::{self, ServeConfig};
+
+/// The CI smoke scenario — must match the flag defaults of `serve run`.
+fn smoke() -> ServeConfig {
+    ServeConfig::smoke()
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("REDVOLT_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("{name} missing; regenerate with REDVOLT_UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, golden,
+        "{name} diverged from the pinned serving output"
+    );
+}
+
+#[test]
+fn smoke_scenario_matches_the_golden_pins() {
+    let cfg = smoke();
+    let report = ServeReport::build(&cfg, sim::run(&cfg).unwrap());
+    assert_matches_golden("serve_smoke.txt", &report.to_text());
+    assert_matches_golden("serve_smoke.jsonl", &report.to_jsonl());
+    assert_matches_golden("serve_smoke.prom", &report.to_prometheus());
+}
+
+/// The smoke scenario has to demonstrate the whole point of the
+/// subsystem: real sub-Vmin SDC/ECC activity, governor interventions,
+/// and still zero silently corrupt responses.
+#[test]
+fn smoke_scenario_is_eventful_but_never_silently_corrupt() {
+    let cfg = smoke();
+    let out = sim::run(&cfg).unwrap();
+    assert_eq!(out.counters.silently_corrupt, 0);
+    assert_eq!(
+        out.counters.completed + out.counters.shed,
+        out.counters.offered
+    );
+    assert!(
+        out.boards.iter().map(|b| b.events).sum::<u64>() > 0,
+        "sub-Vmin smoke saw no SDC/ECC events"
+    );
+    assert!(
+        out.counters.escalations > 0,
+        "the governor never intervened"
+    );
+}
+
+/// Byte-identity across reruns and worker counts: the full rendered
+/// output (report, JSONL, Prometheus) is a pure function of
+/// `(seed, config)`; `image_jobs` must be invisible in all of it.
+#[test]
+fn rendered_output_is_byte_identical_across_reruns_and_workers() {
+    let render = |cfg: &ServeConfig| {
+        let r = ServeReport::build(cfg, sim::run(cfg).unwrap());
+        (r.to_text(), r.to_jsonl(), r.to_prometheus())
+    };
+    let cfg = smoke();
+    let baseline = render(&cfg);
+    assert_eq!(baseline, render(&cfg), "rerun diverged");
+    for image_jobs in [2, 8] {
+        let sharded = render(&ServeConfig { image_jobs, ..cfg });
+        assert_eq!(
+            baseline, sharded,
+            "image_jobs={image_jobs} leaked into serving output"
+        );
+    }
+}
+
+#[test]
+fn the_seed_actually_flows_into_the_outcome() {
+    let a = sim::run(&smoke()).unwrap();
+    let b = sim::run(&ServeConfig {
+        seed: 43,
+        ..smoke()
+    })
+    .unwrap();
+    assert_ne!(
+        a.latencies, b.latencies,
+        "serving outcome ignores the master seed"
+    );
+}
+
+proptest! {
+    /// Admission control under adversarial bursty arrivals: whatever the
+    /// offered rate, burst shape and queue geometry, no board's queue
+    /// ever exceeds the configured bound, and every offered request is
+    /// accounted for exactly once (completed, shed, or dropped when a
+    /// crash requeue found every queue full).
+    #[test]
+    fn bursty_arrivals_never_overflow_the_queue_bound(
+        seed in 0u64..1_000_000,
+        rps_scale in 1u32..40,
+        queue_depth in 4usize..10,
+        burst_every in 3u64..12,
+        burst_len in 1u64..20,
+    ) {
+        let cfg = ServeConfig {
+            seed,
+            boards: 2,
+            requests: 30,
+            rps: 5_000.0 * f64::from(rps_scale),
+            max_batch: 4,
+            queue_depth,
+            burst_every,
+            burst_len,
+            ..ServeConfig::default()
+        };
+        let out = sim::run(&cfg).unwrap();
+        prop_assert!(
+            out.peak_queue_len <= queue_depth,
+            "peak queue {} exceeded bound {}",
+            out.peak_queue_len,
+            queue_depth
+        );
+        let c = out.counters;
+        prop_assert_eq!(c.offered, 30);
+        prop_assert_eq!(c.admitted + c.shed, c.offered);
+        prop_assert_eq!(c.completed + c.shed + c.dropped_on_crash, c.offered);
+        prop_assert_eq!(out.latencies.len() as u64, c.completed);
+    }
+}
+
+/// Routing policy is live end-to-end: Vmin-aware and round-robin runs of
+/// the same scenario distribute load differently.
+#[test]
+fn router_policy_changes_the_load_distribution() {
+    let vmin = sim::run(&smoke()).unwrap();
+    let rr = sim::run(&ServeConfig {
+        router: RouterPolicy::RoundRobin,
+        ..smoke()
+    })
+    .unwrap();
+    let served = |o: &sim::ServeOutcome| o.boards.iter().map(|b| b.served).collect::<Vec<_>>();
+    assert_ne!(served(&vmin), served(&rr));
+    assert_eq!(
+        vmin.counters.offered, rr.counters.offered,
+        "policies saw different traffic"
+    );
+}

@@ -19,6 +19,8 @@
 //! * [`dpu`] — the B4096-style accelerator and DNNDK-like runtime.
 //! * [`telemetry`] — deterministic metrics, spans and progress reporting.
 //! * [`core`] — the paper's measurement campaigns as a library.
+//! * [`serve`] — the deterministic inference-serving subsystem: fleet
+//!   scheduler, admission control and Vmin-aware routing.
 //!
 //! # Quickstart
 //!
@@ -53,4 +55,5 @@ pub use redvolt_fpga as fpga;
 pub use redvolt_nn as nn;
 pub use redvolt_num as num;
 pub use redvolt_pmbus as pmbus;
+pub use redvolt_serve as serve;
 pub use redvolt_telemetry as telemetry;
