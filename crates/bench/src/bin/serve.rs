@@ -10,10 +10,14 @@
 //!
 //! `run` executes one serving scenario and prints the deterministic
 //! plain-text report to stdout (the golden tests and the CI smoke job
-//! diff this byte-for-byte). `--metrics-out` / `--prom-out` additionally
-//! write the JSONL and Prometheus telemetry exports, which share the
-//! same determinism contract: virtual-time timestamps only, byte
-//! identical across reruns and `--image-jobs` values.
+//! diff this byte-for-byte). `--metrics-out` / `--prom-out` /
+//! `--trace-out` / `--flight-recorder` additionally write the JSONL,
+//! Prometheus, Chrome trace-event and flight-recorder exports, which
+//! share the same determinism contract: virtual-time timestamps only,
+//! byte identical across reruns and `--image-jobs` values.
+//! `--obs-addr HOST:PORT` then serves the final snapshot over HTTP
+//! (`/metrics` byte-identical to `--prom-out`, plus `/healthz` and
+//! `/trace`) until `--obs-max-requests` connections have been answered.
 //!
 //! `bench` compares the Vmin-aware router against the round-robin
 //! baseline on the *same* seeded scenario (defense `correct`, governor
@@ -28,6 +32,7 @@
 use redvolt_nn::abft::DefenseMode;
 use redvolt_nn::models::ModelKind;
 use redvolt_serve::fleet::CalibConfig;
+use redvolt_serve::obs::{ObsServer, ObsSnapshot};
 use redvolt_serve::report::ServeReport;
 use redvolt_serve::router::RouterPolicy;
 use redvolt_serve::sim::{self, ServeConfig};
@@ -83,6 +88,10 @@ fn run_cmd(args: &[String]) {
     let mut cfg = ServeConfig::smoke();
     let mut metrics_out: Option<String> = None;
     let mut prom_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut flight_out: Option<String> = None;
+    let mut obs_addr: Option<String> = None;
+    let mut obs_max_requests: Option<u64> = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -117,8 +126,15 @@ fn run_cmd(args: &[String]) {
                 });
             }
             "--no-governor" => cfg.governor = false,
+            "--trace-capacity" => cfg.trace_capacity = parse_num(&expect_value(&mut it, a), a),
             "--metrics-out" => metrics_out = Some(expect_value(&mut it, a)),
             "--prom-out" => prom_out = Some(expect_value(&mut it, a)),
+            "--trace-out" => trace_out = Some(expect_value(&mut it, a)),
+            "--flight-recorder" => flight_out = Some(expect_value(&mut it, a)),
+            "--obs-addr" => obs_addr = Some(expect_value(&mut it, a)),
+            "--obs-max-requests" => {
+                obs_max_requests = Some(parse_num(&expect_value(&mut it, a), a));
+            }
             other => {
                 eprintln!("error: unknown flag {other}");
                 eprintln!(
@@ -127,7 +143,9 @@ fn run_cmd(args: &[String]) {
                      [--queue-depth N] [--margin-mv X] [--retry-limit N] \
                      [--slo-p99 CYCLES] [--burst-every N] [--burst-len N] \
                      [--image-jobs N] [--defense off|detect|correct] [--router vmin|rr] \
-                     [--no-governor] [--metrics-out PATH] [--prom-out PATH]"
+                     [--no-governor] [--trace-capacity N] [--metrics-out PATH] \
+                     [--prom-out PATH] [--trace-out PATH] [--flight-recorder PATH] \
+                     [--obs-addr HOST:PORT] [--obs-max-requests N]"
                 );
                 std::process::exit(2);
             }
@@ -150,6 +168,29 @@ fn run_cmd(args: &[String]) {
     if let Some(path) = prom_out {
         write_or_die(&path, &report.to_prometheus());
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = trace_out {
+        write_or_die(&path, &report.to_chrome_trace());
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flight_out {
+        write_or_die(&path, &report.to_flight_jsonl());
+        eprintln!("wrote {path}");
+    }
+    // Serve the observability snapshot *before* the SLO gate decides the
+    // exit code, so a violated run can still be inspected over HTTP.
+    if let Some(addr) = obs_addr {
+        let server = ObsServer::bind(&addr, ObsSnapshot::of(&report)).unwrap_or_else(|e| {
+            eprintln!("error: binding {addr}: {e}");
+            std::process::exit(1);
+        });
+        let bound = server.local_addr().expect("bound socket has an address");
+        eprintln!("obs: listening on http://{bound} (/metrics /healthz /trace)");
+        let handled = server.serve(obs_max_requests).unwrap_or_else(|e| {
+            eprintln!("error: obs server: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("obs: served {handled} requests");
     }
     if !report.slo_ok {
         eprintln!("FAIL: SLO violated (p99 or silent corruption)");

@@ -341,7 +341,7 @@ impl Accelerator {
         let cycle = self.runtime.cycles_run();
         let id = self.spans.begin("bus_set_vout", None, cycle);
         self.spans.attr(id, "rail", rail);
-        self.spans.attr(id, "mv", &format!("{mv:?}"));
+        self.spans.attr(id, "mv", format!("{mv:?}"));
         self.spans.attr(id, "ok", if ok { "1" } else { "0" });
         self.spans.end(id, cycle);
     }
@@ -387,7 +387,7 @@ impl Accelerator {
         let start_cycle = self.runtime.cycles_run();
         let id = self.spans.begin("measure", None, start_cycle);
         self.spans
-            .attr(id, "vccint_mv", &format!("{:?}", self.vccint_mv));
+            .attr(id, "vccint_mv", format!("{:?}", self.vccint_mv));
         let result = self.measure_inner(images);
         self.spans
             .attr(id, "ok", if result.is_ok() { "1" } else { "0" });
@@ -423,7 +423,7 @@ impl Accelerator {
                 .attr(run_id, "ok", if batch.is_ok() { "1" } else { "0" });
             if let Ok(r) = &batch {
                 self.spans
-                    .attr(run_id, "faults", &r.injected_faults.to_string());
+                    .attr(run_id, "faults", r.injected_faults.to_string());
             }
             self.spans.end(run_id, self.runtime.cycles_run());
             let result = match batch {

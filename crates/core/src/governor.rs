@@ -67,6 +67,29 @@ impl BoardHealth {
     pub fn rungs_from(&self, ladder: &MitigationLadder, base_f_mhz: f64, base_mv: f64) -> u32 {
         ladder.rungs_walked(base_f_mhz, base_mv, self.f_mhz, self.vccint_mv)
     }
+
+    /// The reading as typed attributes, for flight-recorder snapshots
+    /// and trace spans. Keys are stable export names.
+    pub fn attrs(&self) -> Vec<(String, redvolt_telemetry::AttrValue)> {
+        use redvolt_telemetry::AttrValue;
+        vec![
+            ("vccint_mv".to_string(), AttrValue::F64(self.vccint_mv)),
+            ("f_mhz".to_string(), AttrValue::F64(self.f_mhz)),
+            ("junction_c".to_string(), AttrValue::F64(self.junction_c)),
+            ("power_w".to_string(), AttrValue::F64(self.power_w)),
+            ("crashed".to_string(), AttrValue::Bool(self.crashed)),
+            (
+                "power_cycles".to_string(),
+                AttrValue::U64(self.power_cycles),
+            ),
+            (
+                "defense_events".to_string(),
+                AttrValue::U64(self.defense_events),
+            ),
+            ("dpu_faults".to_string(), AttrValue::U64(self.dpu_faults)),
+            ("cycles_run".to_string(), AttrValue::U64(self.cycles_run)),
+        ]
+    }
 }
 
 /// Governor tuning.

@@ -257,7 +257,7 @@ impl CellFold {
 
     fn fold(&mut self, attempt_no: u32, telemetry: &CellTelemetry) {
         let span = self.ring.begin("attempt", None, self.cycle_base);
-        self.ring.attr(span, "n", &attempt_no.to_string());
+        self.ring.attr(span, "n", attempt_no.to_string());
         self.ring
             .absorb_records(&telemetry.spans, Some(span), self.cycle_base);
         self.ring.end(span, self.cycle_base + telemetry.cycles);

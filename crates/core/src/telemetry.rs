@@ -311,14 +311,19 @@ impl CampaignTelemetry {
             }
 
             let cell_span = ring.begin("cell", None, base);
-            ring.attr(cell_span, "index", &r.index.to_string());
-            ring.attr(cell_span, "label", &r.spec.label());
-            ring.attr(cell_span, "attempts", &r.attempts.to_string());
+            ring.attr(cell_span, "index", r.index.to_string());
+            ring.attr(cell_span, "label", r.spec.label());
+            ring.attr(cell_span, "attempts", r.attempts.to_string());
             ring.absorb_records(&t.spans, Some(cell_span), base);
             ring.end(cell_span, base + t.cycles);
             base += t.cycles;
         }
         ring.end(campaign, total_cycles);
+        // Surfaced so a truncated span stream is visible in the exports,
+        // not silently shorter.
+        registry
+            .counter("redvolt_spans_dropped_total", &[])
+            .add(ring.dropped());
 
         CampaignTelemetry {
             registry,

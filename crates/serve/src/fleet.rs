@@ -76,6 +76,19 @@ pub struct BatchExec {
     pub crashed: bool,
 }
 
+/// Result of one governor escalation step, for the tracing layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Escalation {
+    /// Ladder move taken: `"underscale"`, `"backoff"` or `"exhausted"`.
+    pub kind: &'static str,
+    /// Mitigation rungs away from the base point after the move.
+    pub rungs: u32,
+    /// Operating clock after the move, MHz.
+    pub f_mhz: f64,
+    /// Operating voltage after the move, mV.
+    pub vccint_mv: f64,
+}
+
 /// One board of the serving fleet.
 #[derive(Debug)]
 pub struct FleetBoard {
@@ -298,17 +311,28 @@ impl FleetBoard {
     /// Walks the board one rung down the mitigation ladder (frequency
     /// underscaling first, voltage backoff once the clock floor is
     /// reached). Called by the scheduler after an eventful batch when
-    /// the governor is armed.
-    pub fn escalate(&mut self) {
-        match self.ladder.next(self.acc.clock_mhz(), self.acc.vccint_mv()) {
-            LadderMove::Underscale(f_mhz) => self.acc.set_clock_mhz(f_mhz),
+    /// the governor is armed. Returns the post-move state so the caller
+    /// can attach the escalation to its trace.
+    pub fn escalate(&mut self) -> Escalation {
+        let kind = match self.ladder.next(self.acc.clock_mhz(), self.acc.vccint_mv()) {
+            LadderMove::Underscale(f_mhz) => {
+                self.acc.set_clock_mhz(f_mhz);
+                "underscale"
+            }
             // Backing *up* in voltage cannot hang the board.
             LadderMove::Backoff(mv) => {
                 let _ = self.acc.set_vccint_mv(mv);
+                "backoff"
             }
-            LadderMove::Exhausted => {}
-        }
+            LadderMove::Exhausted => "exhausted",
+        };
         self.refresh_rungs();
+        Escalation {
+            kind,
+            rungs: self.rungs,
+            f_mhz: self.acc.clock_mhz(),
+            vccint_mv: self.acc.vccint_mv(),
+        }
     }
 
     /// Reboots a hung board and rejoins it one voltage-backoff rung

@@ -22,8 +22,14 @@
 //!   energy accounting, ladder escalation and crash recovery.
 //! * [`router`] — admission control (shed/degrade) and the Vmin-aware
 //!   vs round-robin routing policies.
-//! * [`sim`] — the event loop tying it all together.
-//! * [`report`] — text/JSONL/Prometheus renderings of a finished run.
+//! * [`sim`] — the event loop tying it all together, threading a
+//!   request-lifecycle trace (admission → queue → batch → execute →
+//!   complete/shed/degraded) and a bounded flight recorder through
+//!   every decision.
+//! * [`report`] — text/JSONL/Prometheus/Chrome-trace/flight-recorder
+//!   renderings of a finished run.
+//! * [`obs`] — a std-only blocking HTTP endpoint serving the final
+//!   snapshot (`/metrics`, `/healthz`, `/trace`).
 //!
 //! ```
 //! use redvolt_serve::report::ServeReport;
@@ -46,6 +52,7 @@
 
 pub mod event;
 pub mod fleet;
+pub mod obs;
 pub mod report;
 pub mod router;
 pub mod sim;

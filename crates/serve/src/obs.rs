@@ -1,0 +1,214 @@
+//! Live observability endpoint (`/metrics`, `/healthz`, `/trace`).
+//!
+//! A deliberately tiny, std-only, blocking HTTP/1.1 server that exposes
+//! a **finished run's** exports over a socket so standard tooling
+//! (`curl`, a Prometheus scraper, a browser pointed at Perfetto) can
+//! pull them. The deterministic event loop stays pure: the server never
+//! touches live simulation state, it serves an immutable [`ObsSnapshot`]
+//! rendered once from the final [`ServeReport`]. `/metrics` is
+//! byte-identical to the `--prom-out` file, `/trace` to the
+//! `--trace-out` file — the socket is a transport, not a second code
+//! path.
+//!
+//! One connection at a time, `Connection: close` on every response; the
+//! accept loop is bounded by `max_requests` when the caller needs the
+//! server to terminate (tests, CI smoke).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use crate::report::ServeReport;
+
+/// Per-connection socket timeout: a stalled peer cannot wedge the
+/// accept loop forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The immutable endpoint payloads, rendered once from a final report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// `/metrics` body (Prometheus text exposition).
+    pub metrics: String,
+    /// `/healthz` body (one JSON line).
+    pub healthz: String,
+    /// `/trace` body (Chrome trace-event JSON).
+    pub trace: String,
+}
+
+impl ObsSnapshot {
+    /// Renders the endpoint payloads from a finished run.
+    pub fn of(report: &ServeReport) -> Self {
+        ObsSnapshot {
+            metrics: report.to_prometheus(),
+            healthz: report.to_healthz(),
+            trace: report.to_chrome_trace(),
+        }
+    }
+}
+
+/// The blocking observability server.
+#[derive(Debug)]
+pub struct ObsServer {
+    listener: TcpListener,
+    snapshot: ObsSnapshot,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9090`, port 0 for ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, snapshot: ObsSnapshot) -> io::Result<Self> {
+        Ok(ObsServer {
+            listener: TcpListener::bind(addr)?,
+            snapshot,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and answers connections one at a time. With
+    /// `max_requests: Some(n)` the loop returns after `n` connections;
+    /// with `None` it runs until the process exits. Returns the number
+    /// of connections handled. Per-connection I/O errors are counted
+    /// against the bound but otherwise ignored — a misbehaving client
+    /// must not take the endpoint down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures (not per-connection I/O errors).
+    pub fn serve(&self, max_requests: Option<u64>) -> io::Result<u64> {
+        let mut handled = 0;
+        loop {
+            if let Some(limit) = max_requests {
+                if handled >= limit {
+                    return Ok(handled);
+                }
+            }
+            let (stream, _) = self.listener.accept()?;
+            let _ = self.handle(stream);
+            handled += 1;
+        }
+    }
+
+    fn handle(&self, stream: TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let mut reader = BufReader::new(stream);
+        let mut request_line = String::new();
+        reader.read_line(&mut request_line)?;
+        // Drain the headers; the snapshot server ignores them all.
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+                break;
+            }
+        }
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        let mut stream = reader.into_inner();
+        let (status, content_type, body): (&str, &str, &str) = if method != "GET" {
+            (
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "method not allowed\n",
+            )
+        } else {
+            match path {
+                "/metrics" => (
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &self.snapshot.metrics,
+                ),
+                "/healthz" => ("200 OK", "application/json", &self.snapshot.healthz),
+                "/trace" => ("200 OK", "application/json", &self.snapshot.trace),
+                _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n"),
+            }
+        };
+        write!(
+            stream,
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn snapshot() -> ObsSnapshot {
+        ObsSnapshot {
+            metrics: "# TYPE up gauge\nup 1\n".to_string(),
+            healthz: "{\"status\":\"ok\"}\n".to_string(),
+            trace: "{\"traceEvents\":[\n]}\n".to_string(),
+        }
+    }
+
+    fn get(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn spawn(requests: u64) -> (SocketAddr, std::thread::JoinHandle<u64>) {
+        let server = ObsServer::bind("127.0.0.1:0", snapshot()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve(Some(requests)).unwrap());
+        (addr, handle)
+    }
+
+    #[test]
+    fn serves_the_snapshot_bytes_verbatim() {
+        let (addr, handle) = spawn(3);
+        let metrics = get(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(metrics.contains("version=0.0.4"));
+        assert!(metrics.ends_with(&snapshot().metrics));
+        let healthz = get(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(healthz.ends_with(&snapshot().healthz));
+        let trace = get(addr, "GET /trace HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(trace.contains("Content-Type: application/json"));
+        assert!(trace.ends_with(&snapshot().trace));
+        assert_eq!(handle.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let (addr, handle) = spawn(2);
+        let missing = get(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        let post = get(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn content_length_matches_the_body() {
+        let (addr, handle) = spawn(1);
+        let response = get(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+        handle.join().unwrap();
+    }
+}

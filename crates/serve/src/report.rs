@@ -13,7 +13,9 @@ use redvolt_core::report::{fmt, Table};
 use redvolt_fpga::calib::F_NOM_MHZ;
 use redvolt_telemetry::export::{export_jsonl, export_prometheus};
 use redvolt_telemetry::metrics::Registry;
+use redvolt_telemetry::recorder::export_flight_jsonl;
 use redvolt_telemetry::span::SpanRecord;
+use redvolt_telemetry::trace::{export_chrome_trace, TraceTrack};
 
 /// Latency-histogram bucket bounds, reference cycles.
 const LATENCY_BOUNDS: [f64; 10] = [1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8];
@@ -149,6 +151,13 @@ impl ServeReport {
             fmt(self.fleet_energy_j * 1e3, 3),
             fmt(self.energy_per_completed_j * 1e6, 2),
         ));
+        out.push_str(&format!(
+            "trace spans {}  spans-dropped {}  postmortems {}  postmortems-suppressed {}\n",
+            self.outcome.trace_spans.len(),
+            self.outcome.trace_dropped,
+            self.outcome.postmortems.len(),
+            self.outcome.postmortems_suppressed,
+        ));
         if cfg.slo_p99_cycles > 0 {
             out.push_str(&format!(
                 "SLO p99 <= {}: {}\n",
@@ -221,6 +230,14 @@ impl ServeReport {
         reg.counter("serve_crashes_total", &[]).add(c.crashes);
         reg.counter("serve_escalations_total", &[])
             .add(c.escalations);
+        reg.counter("serve_trace_spans_total", &[])
+            .add(self.outcome.trace_spans.len() as u64);
+        reg.counter("serve_spans_dropped_total", &[])
+            .add(self.outcome.trace_dropped);
+        reg.counter("serve_postmortems_total", &[("disposition", "dumped")])
+            .add(self.outcome.postmortems.len() as u64);
+        reg.counter("serve_postmortems_total", &[("disposition", "suppressed")])
+            .add(self.outcome.postmortems_suppressed);
         reg.gauge("serve_span_ref_cycles", &[])
             .set(self.outcome.end_cycle as f64);
         let latency = reg.histogram("serve_latency_ref_cycles", &[], &LATENCY_BOUNDS);
@@ -252,37 +269,74 @@ impl ServeReport {
         reg
     }
 
-    /// Batch executions as a span stream (one `serve_batch` span each).
-    fn spans(&self) -> Vec<SpanRecord> {
-        self.outcome
-            .batch_spans
-            .iter()
-            .enumerate()
-            .map(|(i, b)| SpanRecord {
-                id: i as u64 + 1,
-                parent: None,
-                name: "serve_batch".to_string(),
-                start_cycle: b.start_cycle,
-                end_cycle: b.end_cycle,
-                attrs: vec![
-                    ("board".to_string(), b.board.to_string()),
-                    ("requests".to_string(), b.requests.to_string()),
-                    ("events".to_string(), b.events.to_string()),
-                    ("flagged".to_string(), b.flagged.to_string()),
-                    ("crashed".to_string(), b.crashed.to_string()),
-                ],
-            })
-            .collect()
+    /// The request-lifecycle span stream recorded by the simulation.
+    fn spans(&self) -> &[SpanRecord] {
+        &self.outcome.trace_spans
     }
 
-    /// The JSONL telemetry export (schema header, batch spans, metrics).
+    /// The JSONL telemetry export (schema header, lifecycle spans,
+    /// metrics).
     pub fn to_jsonl(&self) -> String {
-        export_jsonl(&self.spans(), &self.registry().samples())
+        export_jsonl(self.spans(), &self.registry().samples())
     }
 
     /// The Prometheus text-exposition export.
     pub fn to_prometheus(&self) -> String {
         export_prometheus(&self.registry().samples())
+    }
+
+    /// The Chrome trace-event export (`chrome://tracing` / Perfetto):
+    /// one track per board plus router and governor tracks, reference
+    /// cycles mapped to trace microseconds at the nominal clock.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut tracks = vec![TraceTrack::new(0, "router"), TraceTrack::new(1, "governor")];
+        for b in &self.outcome.boards {
+            tracks.push(TraceTrack::new(
+                2 + b.index as u64,
+                &format!("board {}", b.index),
+            ));
+        }
+        let tid_of = |span: &SpanRecord| -> u64 {
+            match span.name.as_str() {
+                "governor_escalate" => 1,
+                "batch" | "queue" | "execute" | "board_crash" | "board_up" => {
+                    span.attr_u64("board").map_or(0, |b| 2 + b)
+                }
+                // request / route / reroute / sdc_audit: router track.
+                _ => 0,
+            }
+        };
+        export_chrome_trace(
+            self.spans(),
+            "redvolt-serve",
+            &tracks,
+            &tid_of,
+            F_NOM_MHZ as u64,
+        )
+    }
+
+    /// The flight-recorder post-mortem export (JSONL).
+    pub fn to_flight_jsonl(&self) -> String {
+        export_flight_jsonl(
+            &self.outcome.postmortems,
+            self.outcome.postmortems_suppressed,
+        )
+    }
+
+    /// One-line health summary served at `/healthz`: overall status plus
+    /// the counters an operator checks first.
+    pub fn to_healthz(&self) -> String {
+        let c = &self.outcome.counters;
+        format!(
+            "{{\"status\":\"{}\",\"boards\":{},\"completed\":{},\"shed\":{},\"silently_corrupt\":{},\"crashes\":{},\"postmortems\":{}}}\n",
+            if self.slo_ok { "ok" } else { "degraded" },
+            self.outcome.boards.len(),
+            c.completed,
+            c.shed,
+            c.silently_corrupt,
+            c.crashes,
+            self.outcome.postmortems.len(),
+        )
     }
 }
 
@@ -327,11 +381,36 @@ mod tests {
         assert_eq!(r.to_prometheus(), r.to_prometheus());
         let jsonl = r.to_jsonl();
         assert!(jsonl.starts_with("{\"type\":\"meta\""));
-        assert!(jsonl.contains("\"serve_batch\""));
+        assert!(jsonl.contains("\"name\":\"request\""));
+        assert!(jsonl.contains("\"name\":\"batch\""));
         assert!(jsonl.contains("serve_requests_total"));
+        assert!(jsonl.contains("serve_spans_dropped_total"));
         let prom = r.to_prometheus();
         assert!(prom.contains("# TYPE serve_latency_ref_cycles histogram"));
         assert!(prom.contains("serve_board_utilization"));
+        assert!(prom.contains("serve_trace_spans_total"));
+    }
+
+    #[test]
+    fn chrome_trace_has_board_router_and_governor_tracks() {
+        let r = report();
+        let trace = r.to_chrome_trace();
+        assert_eq!(trace, r.to_chrome_trace());
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(trace.ends_with("]}\n"));
+        assert!(trace.contains("\"thread_name\",\"args\":{\"name\":\"router\"}"));
+        assert!(trace.contains("\"thread_name\",\"args\":{\"name\":\"governor\"}"));
+        assert!(trace.contains("\"thread_name\",\"args\":{\"name\":\"board 0\"}"));
+        assert!(trace.contains("\"name\":\"request\",\"ph\":\"X\""));
+        assert!(trace.contains("\"name\":\"route\",\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn healthz_is_a_single_json_line() {
+        let h = report().to_healthz();
+        assert!(h.starts_with("{\"status\":"));
+        assert!(h.ends_with("}\n"));
+        assert_eq!(h.lines().count(), 1);
     }
 
     #[test]

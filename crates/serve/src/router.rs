@@ -102,8 +102,9 @@ impl Router {
     }
 
     /// Vmin-aware score: modeled energy per inference inflated by queue
-    /// pressure and mitigation state. Lower is better.
-    fn score(view: &BoardView) -> f64 {
+    /// pressure and mitigation state. Lower is better. Public so the
+    /// tracing layer can attach the winning score to route decisions.
+    pub fn score_of(view: &BoardView) -> f64 {
         view.energy_per_inf_j
             * (1.0 + 0.3 * view.queue_len as f64)
             * (1.0 + 0.5 * f64::from(view.rungs))
@@ -117,8 +118,8 @@ impl Router {
         match self.policy {
             RouterPolicy::VminAware => {
                 (0..views.len()).filter(|&i| candidate(i)).min_by(|&a, &b| {
-                    Self::score(&views[a])
-                        .partial_cmp(&Self::score(&views[b]))
+                    Self::score_of(&views[a])
+                        .partial_cmp(&Self::score_of(&views[b]))
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(a.cmp(&b))
                 })

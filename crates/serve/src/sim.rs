@@ -32,6 +32,8 @@ use redvolt_nn::abft::DefenseMode;
 use redvolt_nn::models::ModelScale;
 use redvolt_nn::tensor::Tensor;
 use redvolt_num::rng::derive_stream_seed;
+use redvolt_telemetry::span::DEFAULT_SPAN_CAPACITY;
+use redvolt_telemetry::{AttrValue, FlightRecorder, PostMortem, Snapshot, SpanRecord, SpanRing};
 
 /// Seed-stream label for the clean reference pass.
 const REFERENCE_STREAM: u64 = 0x5EF0;
@@ -83,6 +85,9 @@ pub struct ServeConfig {
     pub burst_len: u64,
     /// DPU intra-batch image workers (output-invariant by construction).
     pub image_jobs: usize,
+    /// Bound on retained lifecycle spans (oldest evicted first; evictions
+    /// are counted, never silent).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +115,7 @@ impl Default for ServeConfig {
             burst_every: 0,
             burst_len: 0,
             image_jobs: 1,
+            trace_capacity: DEFAULT_SPAN_CAPACITY,
         }
     }
 }
@@ -290,6 +296,15 @@ pub struct ServeOutcome {
     pub boards: Vec<BoardSummary>,
     /// Every executed batch, in dispatch order.
     pub batch_spans: Vec<BatchSpan>,
+    /// Request-lifecycle spans (admission → queue → execute → complete,
+    /// plus board/governor markers), in completion order.
+    pub trace_spans: Vec<SpanRecord>,
+    /// Spans evicted from the bounded trace ring.
+    pub trace_dropped: u64,
+    /// Flight-recorder post-mortems, in trigger order.
+    pub postmortems: Vec<PostMortem>,
+    /// Post-mortem triggers suppressed after the dump bound was hit.
+    pub postmortems_suppressed: u64,
     /// Highest queue occupancy any board ever reached (the admission
     /// bound says this never exceeds `queue_depth`).
     pub peak_queue_len: usize,
@@ -329,6 +344,12 @@ struct Sim<'a> {
     latencies: Vec<Cycle>,
     counters: Counters,
     batch_spans: Vec<BatchSpan>,
+    trace: SpanRing,
+    recorder: FlightRecorder,
+    /// Request-root span id per request id (0 = none yet).
+    req_span: Vec<u64>,
+    /// Open queue-wait span id per request id (0 = not queued).
+    queue_span: Vec<u64>,
     peak_queue_len: usize,
     end_cycle: Cycle,
 }
@@ -386,6 +407,10 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
         latencies: Vec::with_capacity(cfg.requests as usize),
         counters: Counters::default(),
         batch_spans: Vec::new(),
+        trace: SpanRing::with_capacity(cfg.trace_capacity),
+        recorder: FlightRecorder::new(),
+        req_span: vec![0; cfg.requests as usize],
+        queue_span: vec![0; cfg.requests as usize],
         peak_queue_len: 0,
         end_cycle: 0,
     };
@@ -420,6 +445,10 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
         counters: sim.counters,
         boards,
         batch_spans: sim.batch_spans,
+        trace_dropped: sim.trace.dropped(),
+        trace_spans: sim.trace.take(),
+        postmortems: sim.recorder.take_dumps(),
+        postmortems_suppressed: sim.recorder.suppressed(),
         peak_queue_len: sim.peak_queue_len,
         end_cycle: sim.end_cycle,
     })
@@ -455,6 +484,10 @@ impl Sim<'_> {
                         .take()
                         .expect("arrival event without a pending request");
                     self.counters.offered += 1;
+                    let span = self.trace.begin_root("request", now);
+                    self.trace.attr(span, "request", req.id);
+                    self.trace.attr(span, "image", req.image as u64);
+                    self.req_span[req.id as usize] = span;
                     self.admit(req, now)?;
                     self.schedule_next_arrival();
                 }
@@ -472,6 +505,9 @@ impl Sim<'_> {
                 }
                 Event::BoardUp { board } => {
                     self.boards[board].available = true;
+                    let up = self.trace.instant("board_up", None, now);
+                    self.trace.attr_done(up, "board", board as u64);
+                    self.mirror_last();
                     self.dispatch_if_ready(board, now, false)?;
                 }
             }
@@ -485,40 +521,77 @@ impl Sim<'_> {
             .iter()
             .map(|b| b.view(self.cfg.queue_depth))
             .collect();
+        let span = self.req_span[req.id as usize];
         match self.router.admit(&views, self.cfg.degrade_watermark) {
             Admission::Accept { board, degraded } => {
                 req.degraded = degraded;
                 self.counters.admitted += 1;
                 if degraded {
                     self.counters.degraded += 1;
+                    self.trace.attr(span, "degraded", true);
                 }
-                self.enqueue(board, req);
+                let route = self.trace.instant("route", Some(span), now);
+                self.trace.attr_done(route, "board", board as u64);
+                self.trace
+                    .attr_done(route, "policy", self.router.policy().name());
+                if self.router.policy() == RouterPolicy::VminAware {
+                    self.trace
+                        .attr_done(route, "score", Router::score_of(&views[board]));
+                }
+                self.mirror_last();
+                self.enqueue(board, req, now);
                 self.dispatch_if_ready(board, now, false)?;
             }
-            Admission::Shed => self.counters.shed += 1,
+            Admission::Shed => {
+                self.counters.shed += 1;
+                self.trace.attr(span, "outcome", "shed");
+                self.trace.end(span, now);
+                self.mirror_last();
+            }
         }
         Ok(())
     }
 
     /// Re-routes a request mid-flight (SDC retry or crash requeue),
     /// never back onto `from`. Returns whether it found a queue.
-    fn reroute(&mut self, req: Request, from: usize, now: Cycle) -> Result<bool, ServeError> {
+    fn reroute(
+        &mut self,
+        req: Request,
+        from: usize,
+        now: Cycle,
+        reason: &str,
+    ) -> Result<bool, ServeError> {
         let views: Vec<BoardView> = self
             .boards
             .iter()
             .map(|b| b.view(self.cfg.queue_depth))
             .collect();
-        match self.router.route(&views, Some(from)) {
+        let span = self.req_span[req.id as usize];
+        let target = self.router.route(&views, Some(from));
+        let hop = self.trace.instant("reroute", Some(span), now);
+        self.trace.attr_done(hop, "from", from as u64);
+        self.trace.attr_done(hop, "reason", reason);
+        self.trace.attr_done(hop, "found", target.is_some());
+        match target {
             Some(board) => {
-                self.enqueue(board, req);
+                self.trace.attr_done(hop, "board", board as u64);
+                self.mirror_last();
+                self.enqueue(board, req, now);
                 self.dispatch_if_ready(board, now, false)?;
                 Ok(true)
             }
-            None => Ok(false),
+            None => {
+                self.mirror_last();
+                Ok(false)
+            }
         }
     }
 
-    fn enqueue(&mut self, board: usize, req: Request) {
+    fn enqueue(&mut self, board: usize, req: Request, now: Cycle) {
+        let parent = self.req_span[req.id as usize];
+        let wait = self.trace.begin("queue", Some(parent), now);
+        self.trace.attr(wait, "board", board as u64);
+        self.queue_span[req.id as usize] = wait;
         let queue = &mut self.boards[board].queue;
         queue.push_back(req);
         self.peak_queue_len = self.peak_queue_len.max(queue.len());
@@ -570,40 +643,117 @@ impl Sim<'_> {
             batch
         };
         self.counters.batches += 1;
+        for req in &batch {
+            let wait = std::mem::take(&mut self.queue_span[req.id as usize]);
+            self.trace.end(wait, now);
+            self.mirror_last();
+        }
         let indices: Vec<usize> = batch.iter().map(|r| r.image).collect();
         let exec = self.boards[board]
             .fleet
             .run_serving_batch(&indices, self.cfg.batch_overhead_cycles)?;
 
+        let done_at = now + exec.service_ref_cycles;
         self.batch_spans.push(BatchSpan {
             board,
             start_cycle: now,
-            end_cycle: now + exec.service_ref_cycles,
+            end_cycle: done_at,
             requests: batch.len(),
             events: exec.events,
             flagged: exec.flagged,
             crashed: exec.crashed,
         });
+        let batch_id = self.trace.record(SpanRecord {
+            id: 0,
+            parent: None,
+            name: "batch".to_string(),
+            start_cycle: now,
+            end_cycle: done_at,
+            attrs: vec![
+                ("board".to_string(), AttrValue::U64(board as u64)),
+                ("requests".to_string(), AttrValue::U64(batch.len() as u64)),
+                ("events".to_string(), AttrValue::U64(exec.events)),
+                ("flagged".to_string(), AttrValue::Bool(exec.flagged)),
+                ("crashed".to_string(), AttrValue::Bool(exec.crashed)),
+            ],
+        });
+        self.mirror_last();
+
         if exec.crashed {
             self.counters.crashes += 1;
             self.boards[board].fleet.on_crash();
             self.boards[board].available = false;
             self.events
                 .push(now + self.cfg.reboot_cycles, Event::BoardUp { board });
+            let crash = self.trace.instant("board_crash", Some(batch_id), now);
+            self.trace.attr_done(crash, "board", board as u64);
+            self.mirror_last();
+            self.snapshot_boards(now);
+            self.recorder.dump(
+                "board_crash",
+                now,
+                vec![
+                    ("board".to_string(), AttrValue::U64(board as u64)),
+                    ("batch_span".to_string(), AttrValue::U64(batch_id)),
+                ],
+            );
             for req in batch {
                 self.counters.requeued_on_crash += 1;
-                if !self.reroute(req, board, now)? {
+                let rid = req.id as usize;
+                if !self.reroute(req, board, now, "crash")? {
                     self.counters.dropped_on_crash += 1;
+                    let span = self.req_span[rid];
+                    self.trace.attr(span, "outcome", "dropped");
+                    self.trace.end(span, now);
+                    self.mirror_last();
                 }
             }
             return Ok(());
         }
 
-        if self.cfg.governor && exec.events > 0 {
-            self.boards[board].fleet.escalate();
-            self.counters.escalations += 1;
+        for req in &batch {
+            let parent = self.req_span[req.id as usize];
+            self.trace.record(SpanRecord {
+                id: 0,
+                parent: Some(parent),
+                name: "execute".to_string(),
+                start_cycle: now,
+                end_cycle: done_at,
+                attrs: vec![
+                    (
+                        "attempt".to_string(),
+                        AttrValue::U64(u64::from(req.attempts)),
+                    ),
+                    ("batch_span".to_string(), AttrValue::U64(batch_id)),
+                    ("board".to_string(), AttrValue::U64(board as u64)),
+                ],
+            });
+            self.mirror_last();
         }
-        let done_at = now + exec.service_ref_cycles;
+
+        if self.cfg.governor && exec.events > 0 {
+            let esc = self.boards[board].fleet.escalate();
+            self.counters.escalations += 1;
+            let rung = self
+                .trace
+                .instant("governor_escalate", Some(batch_id), done_at);
+            self.trace.attr_done(rung, "board", board as u64);
+            self.trace.attr_done(rung, "kind", esc.kind);
+            self.trace.attr_done(rung, "rungs", esc.rungs);
+            self.trace.attr_done(rung, "f_mhz", esc.f_mhz);
+            self.trace.attr_done(rung, "vccint_mv", esc.vccint_mv);
+            self.mirror_last();
+            self.snapshot_boards(done_at);
+            self.recorder.dump(
+                "governor_escalation",
+                done_at,
+                vec![
+                    ("board".to_string(), AttrValue::U64(board as u64)),
+                    ("kind".to_string(), AttrValue::Str(esc.kind.to_string())),
+                    ("rungs".to_string(), AttrValue::U64(u64::from(esc.rungs))),
+                ],
+            );
+        }
         self.boards[board].fleet.busy_cycles += exec.service_ref_cycles;
         self.boards[board].in_flight = Some((batch, exec));
         self.events.push(done_at, Event::BatchDone { board });
@@ -619,7 +769,7 @@ impl Sim<'_> {
         for (req, &prediction) in batch.into_iter().zip(exec.predictions.iter()) {
             if retryable && !req.degraded && req.attempts < self.cfg.retry_limit {
                 self.counters.retried += 1;
-                if self.reroute(req.clone(), board, now)? {
+                if self.reroute(req.clone(), board, now, "sdc_retry")? {
                     continue;
                 }
                 // Nowhere to retry: fall through and answer as-is.
@@ -643,11 +793,65 @@ impl Sim<'_> {
         if flagged {
             self.counters.flagged_completed += 1;
         }
-        if prediction != self.reference[req.image] {
+        let span = self.req_span[req.id as usize];
+        let corrupt = prediction != self.reference[req.image];
+        if corrupt {
             self.counters.corrupt += 1;
             if !flagged {
                 self.counters.silently_corrupt += 1;
             }
+            let audit = self.trace.instant("sdc_audit", Some(span), now);
+            self.trace.attr_done(audit, "board", board as u64);
+            self.trace.attr_done(audit, "silent", !flagged);
+            self.mirror_last();
+            self.snapshot_boards(now);
+            self.recorder.dump(
+                "sdc_audit",
+                now,
+                vec![
+                    ("board".to_string(), AttrValue::U64(board as u64)),
+                    ("request".to_string(), AttrValue::U64(req.id)),
+                    ("silent".to_string(), AttrValue::Bool(!flagged)),
+                ],
+            );
+        }
+        self.trace.attr(span, "attempts", u64::from(req.attempts));
+        self.trace.attr(span, "flagged", flagged);
+        self.trace.attr(
+            span,
+            "outcome",
+            if corrupt { "corrupt" } else { "complete" },
+        );
+        self.trace.end(span, now);
+        self.mirror_last();
+    }
+
+    /// Clones the most recently completed trace span into the flight
+    /// recorder's bounded ring.
+    fn mirror_last(&mut self) {
+        if let Some(span) = self.trace.last() {
+            self.recorder.push(span.clone());
+        }
+    }
+
+    /// Streams a health snapshot of every board into the flight
+    /// recorder, taken just before a post-mortem dump freezes the rings.
+    fn snapshot_boards(&mut self, now: Cycle) {
+        for b in &self.boards {
+            let mut attrs = b.fleet.health().attrs();
+            attrs.push((
+                "queue_len".to_string(),
+                AttrValue::U64(b.queue.len() as u64),
+            ));
+            attrs.push((
+                "rungs".to_string(),
+                AttrValue::U64(u64::from(b.fleet.rungs)),
+            ));
+            self.recorder.snapshot(Snapshot {
+                cycle: now,
+                source: format!("board{}", b.fleet.index),
+                attrs,
+            });
         }
     }
 }

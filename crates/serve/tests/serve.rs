@@ -46,6 +46,7 @@ fn smoke_scenario_matches_the_golden_pins() {
     assert_matches_golden("serve_smoke.txt", &report.to_text());
     assert_matches_golden("serve_smoke.jsonl", &report.to_jsonl());
     assert_matches_golden("serve_smoke.prom", &report.to_prometheus());
+    assert_matches_golden("serve_smoke.trace.json", &report.to_chrome_trace());
 }
 
 /// The smoke scenario has to demonstrate the whole point of the
@@ -77,7 +78,13 @@ fn smoke_scenario_is_eventful_but_never_silently_corrupt() {
 fn rendered_output_is_byte_identical_across_reruns_and_workers() {
     let render = |cfg: &ServeConfig| {
         let r = ServeReport::build(cfg, sim::run(cfg).unwrap());
-        (r.to_text(), r.to_jsonl(), r.to_prometheus())
+        (
+            r.to_text(),
+            r.to_jsonl(),
+            r.to_prometheus(),
+            r.to_chrome_trace(),
+            r.to_flight_jsonl(),
+        )
     };
     let cfg = smoke();
     let baseline = render(&cfg);
@@ -89,6 +96,119 @@ fn rendered_output_is_byte_identical_across_reruns_and_workers() {
             "image_jobs={image_jobs} leaked into serving output"
         );
     }
+}
+
+/// Every offered request owns exactly one lifecycle root span, and the
+/// root's terminal `outcome` attribute agrees with the counters.
+#[test]
+fn every_request_gets_a_lifecycle_span_with_a_terminal_outcome() {
+    let cfg = smoke();
+    let out = sim::run(&cfg).unwrap();
+    let roots: Vec<_> = out
+        .trace_spans
+        .iter()
+        .filter(|s| s.name == "request")
+        .collect();
+    assert_eq!(roots.len() as u64, out.counters.offered);
+    let outcomes = |want: &str| {
+        roots
+            .iter()
+            .filter(|s| s.attr_str("outcome") == Some(want))
+            .count() as u64
+    };
+    assert_eq!(
+        outcomes("complete") + outcomes("corrupt"),
+        out.counters.completed
+    );
+    assert_eq!(outcomes("shed"), out.counters.shed);
+    assert_eq!(outcomes("dropped"), out.counters.dropped_on_crash);
+    // Governor escalations and crashes appear as linked markers.
+    let count = |name: &str| out.trace_spans.iter().filter(|s| s.name == name).count() as u64;
+    assert_eq!(count("governor_escalate"), out.counters.escalations);
+    assert_eq!(count("board_crash"), out.counters.crashes);
+    assert_eq!(count("batch"), out.counters.batches);
+}
+
+/// Satellite: overflowing the bounded span ring is *counted*, never
+/// silent — `trace_dropped` lands in the text report, the JSONL metrics
+/// and the Prometheus exposition as `serve_spans_dropped_total`.
+#[test]
+fn span_ring_overflow_is_surfaced_as_spans_dropped() {
+    let cfg = ServeConfig {
+        trace_capacity: 16,
+        ..smoke()
+    };
+    let report = ServeReport::build(&cfg, sim::run(&cfg).unwrap());
+    assert!(
+        report.outcome.trace_dropped > 0,
+        "a 16-span ring must overflow under the smoke load"
+    );
+    assert_eq!(report.outcome.trace_spans.len(), 16);
+    let want = format!("serve_spans_dropped_total {}", report.outcome.trace_dropped);
+    assert!(report.to_prometheus().contains(&want));
+    assert!(report
+        .to_jsonl()
+        .contains("\"name\":\"serve_spans_dropped_total\""));
+    assert!(report
+        .to_text()
+        .contains(&format!("spans-dropped {}", report.outcome.trace_dropped)));
+    // The untruncated smoke run reports zero drops.
+    let full = ServeReport::build(&smoke(), sim::run(&smoke()).unwrap());
+    assert!(full.to_prometheus().contains("serve_spans_dropped_total 0"));
+}
+
+/// Satellite: the report's latency quantiles must be consistent with the
+/// raw per-request latencies recoverable from the trace — the request
+/// root spans *are* the latency samples.
+#[test]
+fn reported_quantiles_match_latencies_recovered_from_the_trace() {
+    let cfg = smoke();
+    let report = ServeReport::build(&cfg, sim::run(&cfg).unwrap());
+    let mut from_trace: Vec<u64> = report
+        .outcome
+        .trace_spans
+        .iter()
+        .filter(|s| {
+            s.name == "request"
+                && matches!(s.attr_str("outcome"), Some("complete") | Some("corrupt"))
+        })
+        .map(redvolt_telemetry::SpanRecord::cycles)
+        .collect();
+    let mut recorded = report.outcome.latencies.clone();
+    from_trace.sort_unstable();
+    recorded.sort_unstable();
+    assert_eq!(from_trace, recorded, "trace and latency samples diverged");
+    assert_eq!(
+        report.p50_cycles,
+        redvolt_serve::report::percentile(&from_trace, 0.50)
+    );
+    assert_eq!(
+        report.p99_cycles,
+        redvolt_serve::report::percentile(&from_trace, 0.99)
+    );
+}
+
+/// The flight recorder fires on the smoke scenario (sub-Vmin serving
+/// escalates the governor) and its dump carries recent spans.
+#[test]
+fn flight_recorder_dumps_on_governor_escalation() {
+    let cfg = smoke();
+    let out = sim::run(&cfg).unwrap();
+    assert!(
+        !out.postmortems.is_empty(),
+        "sub-Vmin smoke must trigger at least one post-mortem"
+    );
+    let dump = &out.postmortems[0];
+    assert!(!dump.spans.is_empty(), "dump froze no recent spans");
+    assert_eq!(
+        dump.snapshots.len(),
+        cfg.boards,
+        "dump must carry one health snapshot per board"
+    );
+    assert!(dump.snapshots[0]
+        .attrs
+        .iter()
+        .any(|(k, _)| k == "vccint_mv"));
 }
 
 #[test]

@@ -7,7 +7,7 @@
 //! round-trip), matching the CSV payload convention in `core::report`.
 
 use crate::metrics::{Sample, SampleValue};
-use crate::span::SpanRecord;
+use crate::span::{AttrValue, SpanRecord};
 use std::fmt::Write as _;
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -52,10 +52,36 @@ fn json_labels(labels: &[(String, String)]) -> String {
     out
 }
 
+/// Renders one typed attribute value as a JSON value. Strings are
+/// quoted-and-escaped (byte-identical to the historical all-string attr
+/// format); integers, floats and booleans render bare.
+pub fn json_attr_value(value: &AttrValue) -> String {
+    match value {
+        AttrValue::Str(s) => format!("\"{}\"", json_escape(s)),
+        AttrValue::U64(v) => v.to_string(),
+        AttrValue::I64(v) => v.to_string(),
+        AttrValue::F64(v) => json_f64(*v),
+        AttrValue::Bool(v) => v.to_string(),
+    }
+}
+
+/// Renders a typed attribute list as a JSON object, sorted by key.
+pub fn json_attrs(attrs: &[(String, AttrValue)]) -> String {
+    let mut attrs: Vec<&(String, AttrValue)> = attrs.iter().collect();
+    attrs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{");
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(k), json_attr_value(v));
+    }
+    out.push('}');
+    out
+}
+
 /// Renders one span as a JSONL event line (no trailing newline).
 pub fn span_to_json(span: &SpanRecord) -> String {
-    let mut attrs = span.attrs.clone();
-    attrs.sort();
     let mut line = format!(
         "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_cycle\":{},\"end_cycle\":{},\"attrs\":{}}}",
         span.id,
@@ -66,7 +92,7 @@ pub fn span_to_json(span: &SpanRecord) -> String {
         json_escape(&span.name),
         span.start_cycle,
         span.end_cycle,
-        json_labels(&attrs),
+        json_attrs(&span.attrs),
     );
     line.shrink_to_fit();
     line
@@ -271,6 +297,24 @@ mod tests {
     fn json_escaping_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn typed_attrs_render_natively_and_sorted() {
+        let mut ring = SpanRing::new();
+        let id = ring.begin("route", None, 7);
+        ring.attr(id, "score", 1.5f64);
+        ring.attr(id, "board", 2u64);
+        ring.attr(id, "degraded", true);
+        ring.attr(id, "policy", "vmin");
+        ring.end(id, 7);
+        let line = span_to_json(ring.last().unwrap());
+        assert!(
+            line.contains(
+                "\"attrs\":{\"board\":2,\"degraded\":true,\"policy\":\"vmin\",\"score\":1.5}"
+            ),
+            "{line}"
+        );
     }
 
     #[test]

@@ -25,14 +25,23 @@
 //! * [`metrics`] — lock-cheap registry of counters, gauges and fixed-bin
 //!   histograms (atomics after registration; a lock only to register).
 //! * [`span`] — structured spans (campaign → cell → attempt → bus
-//!   transaction / DPU run) in a bounded ring with parent/child links.
+//!   transaction / DPU run; request → queue → execute when serving) in a
+//!   bounded ring with parent/child links and typed attributes.
 //! * [`export`] — JSONL event stream and Prometheus text exporters.
+//! * [`trace`] — Chrome trace-event (`trace.json`) exporter; fleet
+//!   timelines open directly in `chrome://tracing` / Perfetto.
+//! * [`recorder`] — bounded flight recorder freezing recent spans and
+//!   health snapshots into post-mortem blobs on notable triggers.
 //! * [`progress`] — live campaign progress lines with a cycle-cost ETA.
 
 pub mod export;
 pub mod metrics;
 pub mod progress;
+pub mod recorder;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, Registry, Sample, SampleValue};
-pub use span::{SpanRecord, SpanRing};
+pub use recorder::{FlightRecorder, PostMortem, Snapshot};
+pub use span::{AttrValue, SpanRecord, SpanRing};
+pub use trace::TraceTrack;

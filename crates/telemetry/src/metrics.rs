@@ -371,6 +371,43 @@ mod tests {
     }
 
     #[test]
+    fn quantile_on_a_single_bucket_histogram() {
+        let h = Histogram::new(&[100.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty");
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            h.observe(v);
+        }
+        // All mass in the one finite bucket: interpolation runs 0..100.
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.25), 25.0);
+        assert_eq!(h.quantile(0.5), 50.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        // One overflow observation: the top quantile clamps to the only
+        // finite bound rather than inventing mass past the bins.
+        h.observe(1e6);
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn quantile_on_an_overflow_saturated_histogram() {
+        // Every observation lands in the implicit +Inf bucket: the
+        // estimator cannot see past its bins, so every quantile clamps
+        // to the last finite bound instead of returning garbage.
+        let h = Histogram::new(&[10.0, 20.0]);
+        for _ in 0..5 {
+            h.observe(1e9);
+        }
+        assert_eq!(h.bucket_counts(), vec![0, 0, 5]);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 20.0, "q={q}");
+        }
+        // Degenerate zero-bound histogram saturated the same way.
+        let h = Histogram::new(&[]);
+        h.observe(1.0);
+        assert_eq!(h.quantile(0.5), 0.0, "no finite bound to clamp to");
+    }
+
+    #[test]
     fn samples_are_sorted_regardless_of_registration_order() {
         let reg = Registry::new();
         reg.counter("z_total", &[]).inc();

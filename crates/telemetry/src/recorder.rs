@@ -1,0 +1,280 @@
+//! Bounded flight recorder with post-mortem dumps.
+//!
+//! The paper's experimenters reconstructed fault chronology from logs
+//! taken *around* an incident — what the board was doing in the seconds
+//! before a crash or an SDC matters more than the steady state. This
+//! module is that black box for the simulated stack: producers stream
+//! every completed span and periodic health [`Snapshot`]s into a bounded
+//! ring, and when something notable happens (a board crash, an audited
+//! SDC, a governor escalation) the recorder freezes the ring's contents
+//! into a [`PostMortem`] blob.
+//!
+//! Everything is bounded — recent spans, recent snapshots, and the dump
+//! list itself — so a pathological run cannot grow the recorder without
+//! limit; overflow is *counted*, never silent. All timestamps are
+//! virtual cycles, so recorder output obeys the crate's determinism
+//! contract: byte-identical across reruns and worker counts.
+
+use crate::export::{json_attrs, span_to_json};
+use crate::span::{AttrValue, SpanRecord};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Default bound on recent spans retained for a dump.
+pub const DEFAULT_SPAN_WINDOW: usize = 64;
+/// Default bound on recent health snapshots retained for a dump.
+pub const DEFAULT_SNAPSHOT_WINDOW: usize = 32;
+/// Default bound on post-mortem dumps kept (later triggers are counted
+/// but suppressed).
+pub const DEFAULT_MAX_DUMPS: usize = 32;
+
+/// A point-in-time health reading of one tracked component (typically a
+/// board), attached to post-mortems for causal context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Virtual timestamp of the reading.
+    pub cycle: u64,
+    /// What was sampled, e.g. `"board0"`.
+    pub source: String,
+    /// Typed reading attributes (voltage, clock, rungs, queue depth...).
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// One frozen post-mortem blob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostMortem {
+    /// Dump sequence number (0-based, in trigger order).
+    pub seq: u64,
+    /// What fired the dump, e.g. `"board_crash"`, `"sdc_audit"`,
+    /// `"governor_escalation"`.
+    pub trigger: String,
+    /// Virtual timestamp of the trigger.
+    pub cycle: u64,
+    /// Typed trigger attributes (board index, silent flag...).
+    pub attrs: Vec<(String, AttrValue)>,
+    /// The spans that completed most recently before the trigger,
+    /// oldest first.
+    pub spans: Vec<SpanRecord>,
+    /// The most recent health snapshots, oldest first.
+    pub snapshots: Vec<Snapshot>,
+}
+
+/// Bounded ring of recent activity plus the dumps frozen from it.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    spans: VecDeque<SpanRecord>,
+    snapshots: VecDeque<Snapshot>,
+    dumps: Vec<PostMortem>,
+    span_window: usize,
+    snapshot_window: usize,
+    max_dumps: usize,
+    suppressed: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the default windows.
+    pub fn new() -> Self {
+        Self::with_windows(
+            DEFAULT_SPAN_WINDOW,
+            DEFAULT_SNAPSHOT_WINDOW,
+            DEFAULT_MAX_DUMPS,
+        )
+    }
+
+    /// A recorder bounded to `span_window` recent spans,
+    /// `snapshot_window` recent snapshots and `max_dumps` post-mortems.
+    pub fn with_windows(span_window: usize, snapshot_window: usize, max_dumps: usize) -> Self {
+        FlightRecorder {
+            spans: VecDeque::new(),
+            snapshots: VecDeque::new(),
+            dumps: Vec::new(),
+            span_window: span_window.max(1),
+            snapshot_window: snapshot_window.max(1),
+            max_dumps: max_dumps.max(1),
+            suppressed: 0,
+        }
+    }
+
+    /// Streams one completed span into the ring.
+    pub fn push(&mut self, span: SpanRecord) {
+        if self.spans.len() == self.span_window {
+            self.spans.pop_front();
+        }
+        self.spans.push_back(span);
+    }
+
+    /// Streams one health snapshot into the ring.
+    pub fn snapshot(&mut self, snapshot: Snapshot) {
+        if self.snapshots.len() == self.snapshot_window {
+            self.snapshots.pop_front();
+        }
+        self.snapshots.push_back(snapshot);
+    }
+
+    /// Freezes the current rings into a [`PostMortem`]. Returns the dump
+    /// sequence number, or `None` when the dump bound is reached (the
+    /// trigger is still counted in [`FlightRecorder::suppressed`]).
+    pub fn dump(
+        &mut self,
+        trigger: &str,
+        cycle: u64,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> Option<u64> {
+        if self.dumps.len() >= self.max_dumps {
+            self.suppressed += 1;
+            return None;
+        }
+        let seq = self.dumps.len() as u64;
+        self.dumps.push(PostMortem {
+            seq,
+            trigger: trigger.to_string(),
+            cycle,
+            attrs,
+            spans: self.spans.iter().cloned().collect(),
+            snapshots: self.snapshots.iter().cloned().collect(),
+        });
+        Some(seq)
+    }
+
+    /// The frozen dumps, in trigger order.
+    pub fn dumps(&self) -> &[PostMortem] {
+        &self.dumps
+    }
+
+    /// Drains the frozen dumps, leaving the rings intact.
+    pub fn take_dumps(&mut self) -> Vec<PostMortem> {
+        std::mem::take(&mut self.dumps)
+    }
+
+    /// Triggers that arrived after the dump bound was hit.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+/// Renders post-mortems as a JSONL stream: one meta line, then per dump
+/// a `postmortem` header line followed by its span and snapshot lines.
+/// Ends with a trailing newline.
+pub fn export_flight_jsonl(dumps: &[PostMortem], suppressed: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"format\":\"redvolt-flight\",\"version\":1,\"postmortems\":{},\"suppressed\":{}}}",
+        dumps.len(),
+        suppressed
+    );
+    for dump in dumps {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"postmortem\",\"seq\":{},\"trigger\":\"{}\",\"cycle\":{},\"attrs\":{},\"spans\":{},\"snapshots\":{}}}",
+            dump.seq,
+            crate::export::json_escape(&dump.trigger),
+            dump.cycle,
+            json_attrs(&dump.attrs),
+            dump.spans.len(),
+            dump.snapshots.len(),
+        );
+        for span in &dump.spans {
+            out.push_str(&span_to_json(span));
+            out.push('\n');
+        }
+        for snap in &dump.snapshots {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"snapshot\",\"cycle\":{},\"source\":\"{}\",\"attrs\":{}}}",
+                snap.cycle,
+                crate::export::json_escape(&snap.source),
+                json_attrs(&snap.attrs),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanRing;
+
+    fn span(id: u64, cycle: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: None,
+            name: "batch".to_string(),
+            start_cycle: cycle,
+            end_cycle: cycle + 10,
+            attrs: vec![("board".to_string(), AttrValue::U64(0))],
+        }
+    }
+
+    #[test]
+    fn windows_are_bounded_and_dumps_freeze_recent_history() {
+        let mut rec = FlightRecorder::with_windows(2, 1, 8);
+        for i in 0..5 {
+            rec.push(span(i + 1, i * 100));
+        }
+        rec.snapshot(Snapshot {
+            cycle: 390,
+            source: "board0".to_string(),
+            attrs: vec![("rungs".to_string(), AttrValue::U64(2))],
+        });
+        let seq = rec.dump("board_crash", 400, vec![]).unwrap();
+        assert_eq!(seq, 0);
+        let dump = &rec.dumps()[0];
+        // Only the two most recent spans survive the window.
+        assert_eq!(
+            dump.spans.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert_eq!(dump.snapshots.len(), 1);
+        assert_eq!(dump.snapshots[0].attrs[0].1, AttrValue::U64(2));
+    }
+
+    #[test]
+    fn dump_bound_suppresses_but_counts() {
+        let mut rec = FlightRecorder::with_windows(4, 4, 2);
+        assert!(rec.dump("a", 1, vec![]).is_some());
+        assert!(rec.dump("b", 2, vec![]).is_some());
+        assert!(rec.dump("c", 3, vec![]).is_none());
+        assert!(rec.dump("d", 4, vec![]).is_none());
+        assert_eq!(rec.dumps().len(), 2);
+        assert_eq!(rec.suppressed(), 2);
+    }
+
+    #[test]
+    fn flight_jsonl_is_framed_and_deterministic() {
+        let mut ring = SpanRing::new();
+        let id = ring.begin_root("execute", 50);
+        ring.attr(id, "board", 1u64);
+        ring.end(id, 80);
+
+        let mut rec = FlightRecorder::new();
+        rec.push(ring.last().unwrap().clone());
+        rec.snapshot(Snapshot {
+            cycle: 80,
+            source: "board1".to_string(),
+            attrs: vec![("vccint_mv".to_string(), AttrValue::F64(585.0))],
+        });
+        rec.dump(
+            "sdc_audit",
+            90,
+            vec![("silent".to_string(), AttrValue::Bool(false))],
+        );
+        let out = export_flight_jsonl(rec.dumps(), rec.suppressed());
+        assert_eq!(out, export_flight_jsonl(rec.dumps(), rec.suppressed()));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"format\":\"redvolt-flight\""));
+        assert!(lines[1].contains("\"trigger\":\"sdc_audit\""));
+        assert!(lines[1].contains("\"attrs\":{\"silent\":false}"));
+        assert!(lines[2].contains("\"name\":\"execute\""));
+        assert!(lines[3].contains("\"vccint_mv\":585.0"));
+        assert!(out.ends_with('\n'));
+    }
+}

@@ -21,6 +21,81 @@ use std::collections::VecDeque;
 /// Default ring capacity; enough for a full quick-profile campaign.
 pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
 
+/// A typed span-attribute value.
+///
+/// Producers attach what they actually measured — a count, a voltage, a
+/// flag — instead of stringifying everything at the call site; the JSONL
+/// and Chrome-trace exporters render each kind natively (strings quoted,
+/// numbers and booleans bare). String attributes render byte-identically
+/// to the pre-typed format, so existing golden streams are unaffected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute (rendered as a JSON string).
+    Str(String),
+    /// An unsigned integer attribute.
+    U64(u64),
+    /// A signed integer attribute.
+    I64(i64),
+    /// A float attribute (rendered in shortest-round-trip form).
+    F64(f64),
+    /// A boolean attribute.
+    Bool(bool),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<&String> for AttrValue {
+    fn from(v: &String) -> Self {
+        AttrValue::Str(v.clone())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
 /// One recorded span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
@@ -36,13 +111,39 @@ pub struct SpanRecord {
     /// End timestamp in simulated DPU cycles (`>= start_cycle`).
     pub end_cycle: u64,
     /// Attribute pairs, sorted by key at export time.
-    pub attrs: Vec<(String, String)>,
+    pub attrs: Vec<(String, AttrValue)>,
 }
 
 impl SpanRecord {
     /// Span duration in simulated cycles.
     pub fn cycles(&self) -> u64 {
         self.end_cycle.saturating_sub(self.start_cycle)
+    }
+
+    /// Whether the span is an instant (zero-duration) event.
+    pub fn is_instant(&self) -> bool {
+        self.start_cycle == self.end_cycle
+    }
+
+    /// The value of attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The value of attribute `key` as a `u64`, if present and unsigned.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        match self.attr(key) {
+            Some(AttrValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of attribute `key` as a `&str`, if present and a string.
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        match self.attr(key) {
+            Some(AttrValue::Str(v)) => Some(v.as_str()),
+            _ => None,
+        }
     }
 }
 
@@ -90,10 +191,55 @@ impl SpanRing {
         id
     }
 
+    /// Opens a *root* span at `start_cycle` — never auto-parented onto
+    /// an open span, unlike [`SpanRing::begin`] with `parent: None`.
+    /// Needed when many unrelated spans are open concurrently (e.g. one
+    /// per in-flight serving request).
+    pub fn begin_root(&mut self, name: &str, start_cycle: u64) -> u64 {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.open.push(SpanRecord {
+            id,
+            parent: None,
+            name: name.to_string(),
+            start_cycle,
+            end_cycle: start_cycle,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Records an instant (zero-duration) event span under `parent`.
+    /// The event completes immediately; attach attributes via the
+    /// returned id *before* the next `end`-ordering-sensitive read, or
+    /// use [`SpanRing::attr_done`].
+    pub fn instant(&mut self, name: &str, parent: Option<u64>, cycle: u64) -> u64 {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_cycle: cycle,
+            end_cycle: cycle,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
     /// Attaches an attribute to the open span `id` (no-op if closed).
-    pub fn attr(&mut self, id: u64, key: &str, value: &str) {
+    pub fn attr(&mut self, id: u64, key: &str, value: impl Into<AttrValue>) {
         if let Some(span) = self.open.iter_mut().find(|s| s.id == id) {
-            span.attrs.push((key.to_string(), value.to_string()));
+            span.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Attaches an attribute to an already-completed span `id` (no-op if
+    /// the span was evicted). Used for instant events, which complete at
+    /// creation.
+    pub fn attr_done(&mut self, id: u64, key: &str, value: impl Into<AttrValue>) {
+        if let Some(span) = self.done.iter_mut().rev().find(|s| s.id == id) {
+            span.attrs.push((key.to_string(), value.into()));
         }
     }
 
@@ -127,6 +273,11 @@ impl SpanRing {
     /// Completed spans, oldest first.
     pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
         self.done.iter()
+    }
+
+    /// The most recently completed span, if any.
+    pub fn last(&self) -> Option<&SpanRecord> {
+        self.done.back()
     }
 
     /// Number of completed spans currently held.
@@ -276,6 +427,43 @@ mod tests {
         ring.end(id, 10);
         ring.attr(id, "late", "ignored");
         let span = ring.spans().next().unwrap();
-        assert_eq!(span.attrs, vec![("label".into(), "vgg/b0".into())]);
+        assert_eq!(
+            span.attrs,
+            vec![("label".into(), AttrValue::from("vgg/b0"))]
+        );
+    }
+
+    #[test]
+    fn typed_attrs_round_trip() {
+        let mut ring = SpanRing::new();
+        let id = ring.begin("route", None, 5);
+        ring.attr(id, "board", 2u64);
+        ring.attr(id, "degraded", false);
+        ring.attr(id, "score", 1.5f64);
+        ring.end(id, 5);
+        let span = ring.last().unwrap();
+        assert!(span.is_instant());
+        assert_eq!(span.attr_u64("board"), Some(2));
+        assert_eq!(span.attr("degraded"), Some(&AttrValue::Bool(false)));
+        assert_eq!(span.attr("score"), Some(&AttrValue::F64(1.5)));
+        assert_eq!(span.attr_str("board"), None, "board is not a string");
+        assert_eq!(span.attr("missing"), None);
+    }
+
+    #[test]
+    fn begin_root_ignores_the_open_stack_and_instants_complete_at_once() {
+        let mut ring = SpanRing::new();
+        let outer = ring.begin("request", None, 0);
+        let root = ring.begin_root("request", 3);
+        let hit = ring.instant("route", Some(root), 3);
+        ring.attr_done(hit, "board", 1u64);
+        assert_eq!(ring.len(), 1, "instant completes immediately");
+        assert_eq!(ring.last().unwrap().parent, Some(root));
+        assert_eq!(ring.last().unwrap().attr_u64("board"), Some(1));
+        ring.end(root, 9);
+        ring.end(outer, 10);
+        let spans: Vec<_> = ring.spans().cloned().collect();
+        assert_eq!(spans[1].parent, None, "begin_root never auto-parents");
+        assert_eq!(spans[2].parent, None);
     }
 }

@@ -196,4 +196,7 @@ fn heavy_fault_prometheus_reports_bus_health_counters() {
     ] {
         assert_eq!(value(name), 0.0, "{name} should be zero when undefended");
     }
+    // Span-ring overflow is surfaced, never silent: the family is always
+    // exported, and a campaign small enough to fit the ring reports 0.
+    assert_eq!(value("redvolt_spans_dropped_total"), 0.0);
 }
